@@ -1,0 +1,46 @@
+"""Ablation — SFC-array backend choice (skip list vs AVL tree vs sorted list).
+
+DESIGN.md lists the ordered-map backend as a design choice worth ablating: the
+paper only requires "any dynamic unidimensional data structure".  This bench
+measures a mixed insert/probe workload against each backend so the default
+(AVL) can be justified with numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.universe import Universe
+from repro.index.backends import BACKEND_NAMES
+from repro.index.sfc_array import SFCArray
+from repro.sfc.zorder import ZOrderCurve
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_backend_mixed_workload(benchmark, backend):
+    universe = Universe(dims=4, order=10)
+    curve = ZOrderCurve(universe)
+    rng = random.Random(7)
+    inserts = [tuple(rng.randint(0, 1023) for _ in range(4)) for _ in range(2_000)]
+    probes = []
+    for _ in range(2_000):
+        lo = rng.randint(0, universe.max_key)
+        probes.append((lo, min(universe.max_key, lo + (1 << 22))))
+
+    def workload():
+        array = SFCArray(curve, backend=backend, seed=1)
+        hits = 0
+        for i, point in enumerate(inserts):
+            array.add(i, point)
+            if array.first_in_key_range(probes[i]) is not None:
+                hits += 1
+        for i in range(0, len(inserts), 4):
+            array.remove(i)
+        for key_range in probes[len(inserts):]:
+            if array.first_in_key_range(key_range) is not None:
+                hits += 1
+        return hits
+
+    benchmark(workload)

@@ -1,0 +1,17 @@
+"""FIG1 — runs needed for the same rectangle under the Hilbert vs the Z curve.
+
+Paper reference: Figure 1 — the example Sx×Sy rectangle needs two runs under
+the Hilbert curve and three under the Z curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig1_experiment
+
+
+def test_fig1_runs_hilbert_vs_z(run_once, record_table):
+    table = run_once(run_fig1_experiment, order=6)
+    record_table("fig1_runs_hilbert_vs_z", table)
+    rows = {row["instance"]: row for row in table.rows}
+    assert rows["figure-1"]["z_runs"] == 3
+    assert rows["figure-1"]["hilbert_runs"] == 2

@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures/claims (see DESIGN.md's
+experiment index) by calling the corresponding driver in
+``repro.analysis.experiments`` exactly once under pytest-benchmark timing, and
+writes the resulting table to ``benchmarks/results/<experiment>.txt`` so the
+numbers quoted in EXPERIMENTS.md can be re-derived from a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmark-generated tables are stored."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Return a callable that saves a ResultTable to the results directory and echoes it."""
+
+    def _record(name: str, table) -> None:
+        text = table.to_text()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark timing.
+
+    The drivers are macro-experiments (seconds each), so repeating them for
+    statistical rounds would make the harness needlessly slow; a single timed
+    round still produces a benchmark entry with the elapsed time.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Aspect-ratio study: when is approximate covering cheap?
+
+The paper's bounds say the cost of an ε-approximate dominance query scales
+with ``(2^{α+1}·d/ε)^{d−1}`` where α is the (bit-length) aspect ratio of the
+query rectangle, while the exhaustive cost additionally grows with the
+region's absolute size.  This example makes those statements concrete:
+
+1. it prints the analytic Theorem 3.1 bound as ε, α and d vary;
+2. it measures the actual number of standard cubes an approximate and an
+   exhaustive search visit on concrete query regions of increasing size and
+   aspect ratio, using the same machinery the index uses;
+3. it reproduces the paper's Figure 2 contrast (256×256 vs 257×257).
+
+Run with:  python examples/aspect_ratio_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.bounds import theorem31_run_bound, theorem41_lower_bound
+from repro.core.decomposition import count_cubes_extremal, level_census
+from repro.geometry.rect import ExtremalRectangle
+from repro.geometry.universe import Universe
+from repro.sfc.runs import RunProfile
+from repro.sfc.zorder import ZOrderCurve
+from repro.core.decomposition import greedy_decomposition
+
+
+def analytic_bounds() -> None:
+    rows = []
+    for dims in (2, 4):
+        for alpha in (0, 2, 4):
+            for epsilon in (0.01, 0.05, 0.2):
+                rows.append(
+                    {
+                        "dominance_dims": dims,
+                        "aspect_ratio": alpha,
+                        "epsilon": epsilon,
+                        "theorem31_bound": theorem31_run_bound(dims, alpha, epsilon),
+                    }
+                )
+    print(format_table(rows, title="Theorem 3.1 bound on runs per ε-approximate query"))
+    print()
+
+
+def measured_costs() -> None:
+    universe = Universe(dims=2, order=14)
+    epsilon = 0.05
+    rows = []
+    for side_bits in (6, 8, 10, 12):
+        for alpha in (0, 3):
+            long_side = (1 << side_bits) - 1
+            short_side = (1 << (side_bits - alpha)) - 1
+            if short_side < 1:
+                continue
+            region = ExtremalRectangle(universe, (long_side, short_side))
+            target = (1 - epsilon) * region.volume
+            covered = 0
+            approx_cubes = 0
+            for cls in level_census(region):
+                if covered >= target:
+                    break
+                approx_cubes += cls.num_cubes
+                covered = cls.cumulative_volume
+            rows.append(
+                {
+                    "region": f"{long_side}x{short_side}",
+                    "aspect_ratio": alpha,
+                    "approx_cubes(ε=0.05)": approx_cubes,
+                    "exhaustive_cubes": count_cubes_extremal(region),
+                    "thm31_bound": theorem31_run_bound(2, alpha, epsilon),
+                    "thm41_lower_bound": theorem41_lower_bound(2, alpha, short_side),
+                }
+            )
+    print(format_table(rows, title="Measured cube counts: approximate vs exhaustive (2-D universe)"))
+    print()
+
+
+def figure2_contrast() -> None:
+    universe = Universe(dims=2, order=9)
+    curve = ZOrderCurve(universe)
+    rows = []
+    for lengths in ((256, 256), (257, 257)):
+        region = ExtremalRectangle(universe, lengths)
+        profile = RunProfile.from_cubes(curve, greedy_decomposition(region))
+        rows.append(
+            {
+                "region": f"{lengths[0]}x{lengths[1]}",
+                "runs": profile.num_runs,
+                "largest_run_fraction": round(profile.largest_run_fraction, 5),
+            }
+        )
+    print(format_table(rows, title="Figure 2 contrast: one cell more than a power of two"))
+    print()
+    print(
+        "Growing the query region by a single cell per side multiplies the exhaustive\n"
+        "cost by hundreds, while a 0.01-approximate query still stops after one run."
+    )
+
+
+def main() -> None:
+    analytic_bounds()
+    measured_costs()
+    figure2_contrast()
+
+
+if __name__ == "__main__":
+    main()

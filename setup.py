@@ -1,0 +1,6 @@
+"""Setup shim so that ``pip install -e .`` works on environments without the
+``wheel`` package (PEP 660 editable installs need it; ``setup.py develop``
+does not).  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

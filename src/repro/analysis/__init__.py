@@ -1,0 +1,31 @@
+"""Experiment drivers and plain-text reporting."""
+
+from .experiments import (
+    run_approx_vs_exhaustive_experiment,
+    run_dimensionality_experiment,
+    run_fig1_experiment,
+    run_fig2_experiment,
+    run_lem32_experiment,
+    run_pubsub_experiment,
+    run_recall_experiment,
+    run_thm31_experiment,
+    run_thm41_experiment,
+    run_throughput_experiment,
+)
+from .reporting import ResultTable, format_bar_chart, format_table
+
+__all__ = [
+    "run_approx_vs_exhaustive_experiment",
+    "run_dimensionality_experiment",
+    "run_fig1_experiment",
+    "run_fig2_experiment",
+    "run_lem32_experiment",
+    "run_pubsub_experiment",
+    "run_recall_experiment",
+    "run_thm31_experiment",
+    "run_thm41_experiment",
+    "run_throughput_experiment",
+    "ResultTable",
+    "format_bar_chart",
+    "format_table",
+]

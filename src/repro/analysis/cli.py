@@ -1,0 +1,82 @@
+"""Command-line interface for the experiment drivers.
+
+Usage::
+
+    python -m repro.analysis.cli list
+    python -m repro.analysis.cli run fig2
+    python -m repro.analysis.cli run all --output results/
+
+Each experiment name maps to one driver in :mod:`repro.analysis.experiments`
+(the same drivers the benchmark harness calls), so the CLI is a convenient way
+to regenerate a single table without going through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict
+
+from . import experiments
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "fig1": experiments.run_fig1_experiment,
+    "fig2": experiments.run_fig2_experiment,
+    "thm31": experiments.run_thm31_experiment,
+    "lem32": experiments.run_lem32_experiment,
+    "thm41": experiments.run_thm41_experiment,
+    "cost": experiments.run_approx_vs_exhaustive_experiment,
+    "recall": experiments.run_recall_experiment,
+    "pubsub": experiments.run_pubsub_experiment,
+    "dimensionality": experiments.run_dimensionality_experiment,
+    "throughput": experiments.run_throughput_experiment,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.cli",
+        description="Regenerate the paper-reproduction experiment tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="directory to also write each table to (one .txt file per experiment)",
+    )
+    return parser
+
+
+def _run_one(name: str, output: pathlib.Path | None) -> None:
+    table = EXPERIMENTS[name]()
+    text = table.to_text()  # type: ignore[attr-defined]
+    print(text)
+    print()
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:15s} {doc}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args.output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Plain-text reporting helpers: tables and simple ASCII charts.
+
+The benchmark harness regenerates the paper's quantitative content as rows of
+numbers.  Since the environment is headless, "figures" are rendered as aligned
+text tables and, where a trend is the point (e.g. cost vs. query-region size),
+as simple ASCII bar charts.  Everything returns strings so benchmarks can both
+print them and store them alongside the raw rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_bar_chart", "ResultTable"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 5,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_format_value(row.get(c, ""), precision) for c in columns])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(cell.ljust(width) for cell, width in zip(rendered[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered[1:]:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 50,
+) -> str:
+    """Render values as horizontal ASCII bars scaled to ``width`` characters."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return f"{title or 'chart'}: (no data)"
+    peak = max(values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak == 0 else int(round(width * value / peak))
+        lines.append(f"{str(label).rjust(label_width)} | {'#' * bar_len} {value:g}")
+    return "\n".join(lines)
+
+
+class ResultTable:
+    """A growing collection of result rows with convenience accessors."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows: List[Dict[str, object]] = []
+
+    def add(self, **row: object) -> None:
+        """Append a row given as keyword arguments."""
+        self.rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.rows.append(dict(row))
+
+    def column(self, name: str) -> List[object]:
+        """Return one column as a list (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the table as aligned text."""
+        return format_table(self.rows, columns=columns, title=self.name)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()

@@ -1,0 +1,13 @@
+"""Baseline covering-detection strategies the paper is compared against."""
+
+from .exhaustive_sfc import ExhaustiveSFCCoveringDetector
+from .linear_scan import LinearScanCoveringDetector, LinearScanStats
+from .probabilistic import ProbabilisticCoveringDetector, ProbabilisticStats
+
+__all__ = [
+    "ExhaustiveSFCCoveringDetector",
+    "LinearScanCoveringDetector",
+    "LinearScanStats",
+    "ProbabilisticCoveringDetector",
+    "ProbabilisticStats",
+]

@@ -1,0 +1,118 @@
+"""Analytic cost bounds from the paper and the adversarial instance of Section 4.
+
+The reproduction exposes the paper's formulas as plain functions so that the
+benchmark harness can plot "measured runs" against "predicted bound" for each
+experiment:
+
+* :func:`lemma32_min_volume_fraction` — the guaranteed coverage of the
+  truncated rectangle (Lemma 3.2).
+* :func:`lemma37_cube_bound` — the cube-count bound on the truncated region
+  (Lemma 3.7): ``cubes(R^m(ℓ)) < m · [2^α (2^m − 1)]^{d−1}``.
+* :func:`theorem31_run_bound` — the ε-approximate query cost bound
+  (Theorem 3.1) obtained by substituting ``m = ⌈log2(2d/ε)⌉``.
+* :func:`theorem41_lower_bound` — the exhaustive-search lower bound
+  (Theorem 4.1): ``(2^{α−1} · ℓ_d)^{d−1}`` runs for the adversarial rectangle.
+* :func:`adversarial_lengths` / :func:`adversarial_rectangle` — the explicit
+  family of extremal rectangles used in the Theorem 4.1 proof: the shortest
+  side is ``2^γ − 1`` (γ ones) and every other side has bit length ``γ + α``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..geometry.rect import ExtremalRectangle
+from ..geometry.universe import Universe
+from .decomposition import truncation_bits
+
+__all__ = [
+    "lemma32_min_volume_fraction",
+    "lemma37_cube_bound",
+    "theorem31_run_bound",
+    "theorem41_lower_bound",
+    "adversarial_lengths",
+    "adversarial_rectangle",
+]
+
+
+def lemma32_min_volume_fraction(dims: int, truncated_bits: int) -> float:
+    """Return the Lemma 3.2 guarantee ``1 − 2d/2^m`` on the retained volume fraction.
+
+    The guarantee is vacuous (negative) when ``m`` is too small for the given
+    dimensionality; callers that need a particular ε should obtain ``m`` from
+    :func:`repro.core.decomposition.truncation_bits`.
+    """
+    if dims <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    if truncated_bits <= 0:
+        raise ValueError(f"truncated_bits must be positive, got {truncated_bits}")
+    return 1.0 - (2.0 * dims) / (2.0 ** truncated_bits)
+
+
+def lemma37_cube_bound(dims: int, alpha: int, truncated_bits: int) -> int:
+    """Return the Lemma 3.7 bound ``m · [2^α (2^m − 1)]^{d−1}`` on ``cubes(R^m(ℓ))``."""
+    if dims <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    if alpha < 0:
+        raise ValueError(f"aspect ratio must be non-negative, got {alpha}")
+    if truncated_bits <= 0:
+        raise ValueError(f"truncated_bits must be positive, got {truncated_bits}")
+    m = truncated_bits
+    return m * ((1 << alpha) * ((1 << m) - 1)) ** (dims - 1)
+
+
+def theorem31_run_bound(dims: int, alpha: int, epsilon: float) -> int:
+    """Return the Theorem 3.1 bound on the runs probed by an ε-approximate query.
+
+    The bound is Lemma 3.7 evaluated at ``m = ⌈log2(2d/ε)⌉``, which also
+    guarantees (Lemma 3.2) that the searched volume reaches ``1 − ε``.
+    It does not depend on the absolute side lengths of the query region —
+    the paper's key qualitative claim.
+    """
+    m = truncation_bits(dims, epsilon)
+    return lemma37_cube_bound(dims, alpha, m)
+
+
+def theorem41_lower_bound(dims: int, alpha: int, shortest_side: int) -> int:
+    """Return the Theorem 4.1 lower bound ``(2^{α−1} · ℓ_d)^{d−1}`` on exhaustive runs.
+
+    ``shortest_side`` is the length ``ℓ_d`` of the adversarial rectangle's
+    shortest side; the bound grows with it, in contrast to Theorem 3.1.
+    The formula uses exact integer arithmetic; for ``α = 0`` the factor
+    ``2^{α−1}`` is a half, so the result is rounded down.
+    """
+    if dims <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    if alpha < 0:
+        raise ValueError(f"aspect ratio must be non-negative, got {alpha}")
+    if shortest_side <= 0:
+        raise ValueError(f"shortest_side must be positive, got {shortest_side}")
+    value = ((2.0 ** (alpha - 1)) * shortest_side) ** (dims - 1)
+    return int(math.floor(value))
+
+
+def adversarial_lengths(universe: Universe, alpha: int, gamma: int) -> Tuple[int, ...]:
+    """Return the side-length vector of the Section 4 adversarial extremal rectangle.
+
+    The shortest side (placed along the last dimension, as in the paper) has
+    length ``2^γ − 1`` — a string of γ one-bits — and every other side has the
+    all-ones length of bit length ``γ + α``, so the aspect ratio is exactly α.
+    Requires ``γ ≥ 1`` and ``γ + α ≤ k``.
+    """
+    if gamma < 1:
+        raise ValueError(f"gamma must be at least 1, got {gamma}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    if gamma + alpha > universe.order:
+        raise ValueError(
+            f"gamma + alpha = {gamma + alpha} exceeds the universe order {universe.order}"
+        )
+    long_side = (1 << (gamma + alpha)) - 1
+    short_side = (1 << gamma) - 1
+    return tuple([long_side] * (universe.dims - 1) + [short_side])
+
+
+def adversarial_rectangle(universe: Universe, alpha: int, gamma: int) -> ExtremalRectangle:
+    """Return the adversarial extremal rectangle ``R(ℓ)`` of the Theorem 4.1 proof."""
+    return ExtremalRectangle(universe, adversarial_lengths(universe, alpha, gamma))

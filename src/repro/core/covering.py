@@ -1,0 +1,180 @@
+"""Approximate subscription covering: the subscription-facing API of the paper.
+
+This module ties together the Edelsbrunner–Overmars transform and the
+ε-approximate dominance index: subscriptions (conjunctions of per-attribute
+ranges) are stored as dominance points in a ``2β``-dimensional universe, and
+``find_covering`` answers "is this new subscription covered by one that is
+already stored?" by issuing an ε-approximate dominance query anchored at the
+new subscription's point.
+
+Guarantees mirror Problem 2 of the paper:
+
+* **Soundness** — any subscription returned really does cover the query
+  (dominance in the transformed space is exactly covering, and witnesses come
+  from inside the dominance region).
+* **Approximate completeness** — at least a ``(1 − ε)`` volume fraction of the
+  region where covering subscriptions can live is searched, so a covering
+  subscription is missed only when every one of them hides in the remaining
+  sliver.  Missed covers never break a publish/subscribe system; they only
+  cost an extra forwarded subscription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..geometry.transform import DominanceTransform, Range
+from .approx_dominance import ApproximateDominanceIndex, DominanceQueryResult
+
+__all__ = ["ApproximateCoveringDetector", "CoveringResult"]
+
+
+@dataclass
+class CoveringResult:
+    """Outcome of a covering query.
+
+    Attributes
+    ----------
+    covering_id:
+        Identifier of a stored subscription that covers the query, or ``None``
+        when the (approximate) search found none.
+    query:
+        The dominance-query accounting behind this covering check.
+    """
+
+    covering_id: Optional[Hashable]
+    query: DominanceQueryResult
+
+    @property
+    def covered(self) -> bool:
+        """True when a covering subscription was found."""
+        return self.covering_id is not None
+
+
+@dataclass
+class ApproximateCoveringDetector:
+    """Detects covering relationships among range subscriptions, approximately.
+
+    Parameters
+    ----------
+    attributes:
+        Number of numeric attributes β in every subscription.
+    attribute_order:
+        Bits per attribute; attribute values lie in ``[0, 2^k − 1]``.
+    epsilon:
+        Default approximation parameter (0 = exhaustive search).
+    backend:
+        SFC-array backend name (``"avl"``, ``"skiplist"``, ``"sortedlist"``).
+    cube_budget:
+        Per-query cap on examined standard cubes (passed to the dominance index).
+    """
+
+    attributes: int
+    attribute_order: int
+    epsilon: float = 0.05
+    backend: str = "avl"
+    cube_budget: int = 1_000_000
+    seed: Optional[int] = None
+    transform: DominanceTransform = field(init=False)
+    index: ApproximateDominanceIndex = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.transform = DominanceTransform(self.attributes, self.attribute_order)
+        self.index = ApproximateDominanceIndex(
+            universe=self.transform.universe,
+            epsilon=self.epsilon,
+            backend=self.backend,
+            cube_budget=self.cube_budget,
+            seed=self.seed,
+        )
+        self._subscriptions: Dict[Hashable, Tuple[Range, ...]] = {}
+
+    # ---------------------------------------------------------------- updates
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sub_id: Hashable) -> bool:
+        return sub_id in self._subscriptions
+
+    def add_subscription(self, sub_id: Hashable, ranges: Sequence[Range]) -> None:
+        """Store a subscription under ``sub_id`` (replacing any previous one)."""
+        validated = self.transform.validate_ranges(ranges)
+        self._subscriptions[sub_id] = validated
+        self.index.insert(sub_id, self.transform.to_point(validated))
+
+    def remove_subscription(self, sub_id: Hashable) -> bool:
+        """Remove a subscription; return True when it was present."""
+        if sub_id not in self._subscriptions:
+            return False
+        del self._subscriptions[sub_id]
+        self.index.remove(sub_id)
+        return True
+
+    def subscription(self, sub_id: Hashable) -> Optional[Tuple[Range, ...]]:
+        """Return the stored ranges of ``sub_id``, or ``None``."""
+        return self._subscriptions.get(sub_id)
+
+    def subscriptions(self) -> Dict[Hashable, Tuple[Range, ...]]:
+        """Return a copy of all stored subscriptions."""
+        return dict(self._subscriptions)
+
+    # ---------------------------------------------------------------- queries
+    def find_covering(
+        self,
+        ranges: Sequence[Range],
+        epsilon: Optional[float] = None,
+        exclude: Optional[Hashable] = None,
+    ) -> CoveringResult:
+        """Search for a stored subscription covering ``ranges``.
+
+        ``exclude`` allows a router to ask "is this subscription covered by a
+        *different* one?" when the query subscription itself is already
+        stored; the excluded entry is temporarily removed from the index for
+        the duration of the query.
+        """
+        point = self.transform.to_point(ranges)
+        removed_point = None
+        if exclude is not None and exclude in self._subscriptions:
+            removed_point = self.transform.to_point(self._subscriptions[exclude])
+            self.index.remove(exclude)
+        try:
+            result = self.index.query(point, epsilon=epsilon)
+        finally:
+            if removed_point is not None:
+                self.index.insert(exclude, removed_point)
+        covering_id = result.item.item_id if result.item is not None else None
+        return CoveringResult(covering_id=covering_id, query=result)
+
+    def is_covered(self, ranges: Sequence[Range], epsilon: Optional[float] = None) -> bool:
+        """Return True when the approximate search finds a covering subscription."""
+        return self.find_covering(ranges, epsilon=epsilon).covered
+
+    def find_covering_exhaustive(
+        self, ranges: Sequence[Range], exclude: Optional[Hashable] = None
+    ) -> CoveringResult:
+        """Exhaustive (ε = 0) covering search through the same SFC machinery."""
+        return self.find_covering(ranges, epsilon=0.0, exclude=exclude)
+
+    # ----------------------------------------------------------- ground truth
+    def all_covering(self, ranges: Sequence[Range]) -> List[Hashable]:
+        """Return every stored subscription covering ``ranges`` (linear scan oracle).
+
+        Used to measure the recall of the approximate search; not part of the
+        performance-critical path.
+        """
+        query = self.transform.validate_ranges(ranges)
+        return [
+            sub_id
+            for sub_id, stored in self._subscriptions.items()
+            if self.transform.covers(stored, query)
+        ]
+
+    def verify_witness(self, result: CoveringResult, ranges: Sequence[Range]) -> bool:
+        """Check that a returned witness really covers ``ranges`` (soundness check)."""
+        if result.covering_id is None:
+            return True
+        stored = self._subscriptions.get(result.covering_id)
+        if stored is None:
+            return False
+        return self.transform.covers(stored, ranges)

@@ -1,0 +1,207 @@
+"""Subscription merging: an extension on top of covering detection.
+
+Covering removes a subscription from the propagation path only when a single
+existing subscription subsumes it.  *Merging* (studied by Li, Hou & Jacobsen's
+"routing, covering and merging" line of work, which the paper cites as related
+work) goes further: a router may replace a set of subscriptions with one
+broader summary subscription before forwarding, trading a controlled amount of
+false-positive traffic (events that match the summary but none of the merged
+subscriptions) for fewer routing-table entries.
+
+This module implements *imperfect merging* driven by the same geometry the
+covering detector uses:
+
+* a group of subscriptions is merged into the per-attribute bounding box of
+  their ranges (the smallest subscription covering all of them);
+* the quality of a candidate merge is measured by its *precision* — the ratio
+  of the summed volumes of the originals (union approximated by the sum,
+  exact when they are disjoint) to the volume of the bounding box.  A
+  precision of 1.0 means a perfect merge (no false positives); lower values
+  admit more slack;
+* :class:`GreedyMerger` repeatedly merges the pair of subscriptions whose
+  bounding box has the highest precision until no pair meets the configured
+  threshold, using the ε-approximate covering detector to skip subscriptions
+  that are already covered outright.
+
+The merger is deliberately independent of the broker so it can also be used
+offline (e.g. to compact a routing table snapshot); the pub/sub layer exposes
+it through :meth:`repro.pubsub.routing_table.InterfaceTable.subscriptions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..geometry.transform import Range, ranges_cover
+
+__all__ = ["MergedSubscription", "MergeReport", "GreedyMerger", "bounding_ranges", "merge_precision"]
+
+
+def bounding_ranges(group: Sequence[Sequence[Range]]) -> Tuple[Range, ...]:
+    """Return the per-attribute bounding box of a non-empty group of subscriptions.
+
+    The bounding box is the smallest conjunction of ranges covering every
+    subscription in the group.
+
+    >>> bounding_ranges([[(0, 5), (10, 20)], [(3, 9), (0, 15)]])
+    ((0, 9), (0, 20))
+    """
+    if not group:
+        raise ValueError("cannot merge an empty group of subscriptions")
+    width = len(group[0])
+    for ranges in group:
+        if len(ranges) != width:
+            raise ValueError("all subscriptions in a merge group must have the same attributes")
+    return tuple(
+        (min(r[d][0] for r in group), max(r[d][1] for r in group)) for d in range(width)
+    )
+
+
+def _volume(ranges: Sequence[Range]) -> int:
+    volume = 1
+    for lo, hi in ranges:
+        if lo > hi:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        volume *= hi - lo + 1
+    return volume
+
+
+def merge_precision(group: Sequence[Sequence[Range]]) -> float:
+    """Return the precision of merging ``group`` into its bounding box.
+
+    Precision is ``min(1, Σ vol(s_i) / vol(bounding box))`` — an upper bound on
+    the fraction of the summary's volume that the original subscriptions
+    actually cover (exact when the originals are disjoint).  Precision 1.0
+    means the merge introduces no false-positive volume at all.
+    """
+    box_volume = _volume(bounding_ranges(group))
+    covered = sum(_volume(ranges) for ranges in group)
+    return min(1.0, covered / box_volume)
+
+
+@dataclass(frozen=True)
+class MergedSubscription:
+    """A summary subscription standing in for a group of originals."""
+
+    merged_id: str
+    ranges: Tuple[Range, ...]
+    members: Tuple[Hashable, ...]
+    precision: float
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the summary stands for a single original subscription."""
+        return len(self.members) == 1
+
+
+@dataclass
+class MergeReport:
+    """Outcome of a merging pass over a set of subscriptions."""
+
+    summaries: List[MergedSubscription]
+    original_count: int
+
+    @property
+    def merged_count(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of routing-table entries removed by the merge."""
+        if self.original_count == 0:
+            return 0.0
+        return 1.0 - self.merged_count / self.original_count
+
+    def summary_covering(self, ranges: Sequence[Range]) -> Optional[MergedSubscription]:
+        """Return a summary covering ``ranges``, if any (what a router would check)."""
+        for summary in self.summaries:
+            if ranges_cover(summary.ranges, ranges):
+                return summary
+        return None
+
+
+@dataclass
+class GreedyMerger:
+    """Greedy pairwise merging with a precision threshold.
+
+    Parameters
+    ----------
+    min_precision:
+        Only merge a pair when the resulting summary's precision is at least
+        this value.  ``1.0`` restricts merging to cases where one subscription
+        covers the other or the union is exactly a box (perfect merging);
+        lower values allow lossier summaries.
+    max_rounds:
+        Safety cap on merge rounds (each round merges at most one pair).
+    """
+
+    min_precision: float = 0.6
+    max_rounds: int = 10_000
+    _counter: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_precision <= 1.0:
+            raise ValueError(f"min_precision must lie in (0, 1], got {self.min_precision}")
+        if self.max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {self.max_rounds}")
+
+    def merge(self, subscriptions: Dict[Hashable, Sequence[Range]]) -> MergeReport:
+        """Merge ``subscriptions`` (id → ranges) into as few summaries as the threshold allows."""
+        groups: List[Tuple[List[Hashable], Tuple[Range, ...]]] = [
+            ([sub_id], tuple((int(lo), int(hi)) for lo, hi in ranges))
+            for sub_id, ranges in subscriptions.items()
+        ]
+        # Drop subscriptions covered by another one outright (pure covering, lossless).
+        groups = self._absorb_covered(groups)
+
+        for _ in range(self.max_rounds):
+            best: Optional[Tuple[float, int, int, Tuple[Range, ...]]] = None
+            for i in range(len(groups)):
+                for j in range(i + 1, len(groups)):
+                    merged_box = bounding_ranges([groups[i][1], groups[j][1]])
+                    precision = merge_precision([groups[i][1], groups[j][1]])
+                    if precision < self.min_precision:
+                        continue
+                    if best is None or precision > best[0]:
+                        best = (precision, i, j, merged_box)
+            if best is None:
+                break
+            _, i, j, merged_box = best
+            members = groups[i][0] + groups[j][0]
+            replacement = (members, merged_box)
+            groups = [g for k, g in enumerate(groups) if k not in (i, j)]
+            groups.append(replacement)
+
+        summaries = []
+        for members, box in groups:
+            self._counter += 1
+            precision = 1.0 if len(members) == 1 else merge_precision(
+                [tuple(subscriptions[m]) for m in members]
+            )
+            summaries.append(
+                MergedSubscription(
+                    merged_id=f"merge-{self._counter}",
+                    ranges=box,
+                    members=tuple(members),
+                    precision=precision,
+                )
+            )
+        return MergeReport(summaries=summaries, original_count=len(subscriptions))
+
+    @staticmethod
+    def _absorb_covered(
+        groups: List[Tuple[List[Hashable], Tuple[Range, ...]]]
+    ) -> List[Tuple[List[Hashable], Tuple[Range, ...]]]:
+        """Fold any subscription covered by another into the coverer's group (lossless)."""
+        absorbed: set[int] = set()
+        for i in range(len(groups)):
+            if i in absorbed:
+                continue
+            for j in range(len(groups)):
+                if i == j or j in absorbed:
+                    continue
+                if ranges_cover(groups[i][1], groups[j][1]):
+                    groups[i][0].extend(groups[j][0])
+                    absorbed.add(j)
+        return [g for k, g in enumerate(groups) if k not in absorbed]

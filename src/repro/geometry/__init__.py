@@ -1,0 +1,46 @@
+"""Geometric primitives: bits, universes, rectangles and the dominance transform."""
+
+from .bits import (
+    bit_at,
+    bit_length,
+    ceil_log2,
+    deinterleave_bits,
+    floor_log2,
+    gray_decode,
+    gray_encode,
+    interleave_bits,
+    is_power_of_two,
+    low_ones,
+    suffix_from,
+    suffix_vector,
+    truncate_to_msb,
+    truncate_vector,
+)
+from .rect import ExtremalRectangle, Rectangle, StandardCube, aspect_ratio
+from .transform import DominanceTransform, dominates, ranges_cover
+from .universe import Universe
+
+__all__ = [
+    "bit_at",
+    "bit_length",
+    "ceil_log2",
+    "deinterleave_bits",
+    "floor_log2",
+    "gray_decode",
+    "gray_encode",
+    "interleave_bits",
+    "is_power_of_two",
+    "low_ones",
+    "suffix_from",
+    "suffix_vector",
+    "truncate_to_msb",
+    "truncate_vector",
+    "ExtremalRectangle",
+    "Rectangle",
+    "StandardCube",
+    "aspect_ratio",
+    "DominanceTransform",
+    "dominates",
+    "ranges_cover",
+    "Universe",
+]

@@ -1,0 +1,271 @@
+"""Bit-level utilities used throughout the reproduction.
+
+The paper (Shen & Tirthapura) manipulates side lengths and cell coordinates at
+the level of their binary representations.  This module collects those
+primitives so that the rest of the code can speak the paper's language
+directly:
+
+* ``bit_length(x)`` — the paper's ``b(x)``: number of bits in the binary
+  representation of ``x`` with a leading one (``b(9) = 4``).
+* ``truncate_to_msb(x, m)`` — the paper's ``t(x, m)``: keep the ``m`` most
+  significant bits of ``x`` and zero the rest.
+* ``suffix_from(x, i)`` — the paper's ``S_i(x)``: keep only the bits of ``x``
+  whose index (from the least significant bit, 0-based) is at least ``i``.
+* ``bit_at(x, j)`` — the paper's ``x_j``: the ``j``-th bit of ``x``.
+* ``interleave_bits`` / ``deinterleave_bits`` — the Z-order (Morton) key
+  construction: the key of a cell is formed by interleaving the bits of its
+  coordinates, starting from dimension 1.
+
+All functions operate on plain Python integers, which are arbitrary precision,
+so no universe size limit is imposed here; the limits live in
+:mod:`repro.geometry.universe`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "bit_length",
+    "bit_at",
+    "truncate_to_msb",
+    "suffix_from",
+    "interleave_bits",
+    "deinterleave_bits",
+    "is_power_of_two",
+    "floor_log2",
+    "ceil_log2",
+    "low_ones",
+    "truncate_vector",
+    "suffix_vector",
+    "gray_encode",
+    "gray_decode",
+]
+
+
+def bit_length(x: int) -> int:
+    """Return ``b(x)``: the number of bits in the binary representation of ``x``.
+
+    The most significant bit is a one, so ``b(9) = 4`` (``1001``) and
+    ``b(1) = 1``.  ``b(0)`` is defined as 0, matching Python's
+    ``int.bit_length``.
+
+    >>> bit_length(9)
+    4
+    >>> bit_length(1)
+    1
+    >>> bit_length(0)
+    0
+    """
+    if x < 0:
+        raise ValueError(f"bit_length is defined for non-negative integers, got {x}")
+    return x.bit_length()
+
+
+def bit_at(x: int, j: int) -> int:
+    """Return the ``j``-th bit of ``x`` (0-based from the least significant bit).
+
+    This is the paper's ``x_j`` notation.
+
+    >>> bit_at(0b1010, 1)
+    1
+    >>> bit_at(0b1010, 0)
+    0
+    """
+    if j < 0:
+        raise ValueError(f"bit index must be non-negative, got {j}")
+    return (x >> j) & 1
+
+
+def truncate_to_msb(x: int, m: int) -> int:
+    """Return ``t(x, m)``: retain the ``m`` most significant bits of ``x``, zero the rest.
+
+    For ``m >= b(x)`` the value is returned unchanged.  ``m`` must be at least 1
+    for a positive ``x`` (truncating to zero bits would produce an empty side).
+
+    >>> truncate_to_msb(0b110101, 3)
+    48
+    >>> bin(truncate_to_msb(0b110101, 3))
+    '0b110000'
+    >>> truncate_to_msb(7, 10)
+    7
+    """
+    if x < 0:
+        raise ValueError(f"truncate_to_msb requires a non-negative integer, got {x}")
+    if m <= 0:
+        raise ValueError(f"number of retained bits must be positive, got {m}")
+    b = x.bit_length()
+    if m >= b:
+        return x
+    drop = b - m
+    return (x >> drop) << drop
+
+
+def suffix_from(x: int, i: int) -> int:
+    """Return ``S_i(x)``: keep only bits of ``x`` at positions ``>= i``, zero the rest.
+
+    Positions are 0-based from the least significant bit, so ``S_0(x) = x``.
+
+    >>> suffix_from(0b110101, 2)
+    52
+    >>> suffix_from(0b110101, 0)
+    53
+    >>> suffix_from(5, 10)
+    0
+    """
+    if x < 0:
+        raise ValueError(f"suffix_from requires a non-negative integer, got {x}")
+    if i < 0:
+        raise ValueError(f"bit position must be non-negative, got {i}")
+    return (x >> i) << i
+
+
+def truncate_vector(lengths: Sequence[int], m: int) -> Tuple[int, ...]:
+    """Apply :func:`truncate_to_msb` to each element of a vector (the paper's ``t(ℓ, m)``)."""
+    return tuple(truncate_to_msb(v, m) for v in lengths)
+
+
+def suffix_vector(lengths: Sequence[int], i: int) -> Tuple[int, ...]:
+    """Apply :func:`suffix_from` to each element of a vector (the paper's ``S_i(ℓ)``)."""
+    return tuple(suffix_from(v, i) for v in lengths)
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True when ``x`` is a positive power of two.
+
+    >>> is_power_of_two(8)
+    True
+    >>> is_power_of_two(6)
+    False
+    >>> is_power_of_two(0)
+    False
+    """
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def floor_log2(x: int) -> int:
+    """Return ``⌊log2 x⌋`` for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``⌈log2 x⌉`` for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {x}")
+    return (x - 1).bit_length() if x > 1 else 0
+
+
+def low_ones(n: int) -> int:
+    """Return the integer whose ``n`` least significant bits are all ones.
+
+    >>> low_ones(3)
+    7
+    >>> low_ones(0)
+    0
+    """
+    if n < 0:
+        raise ValueError(f"number of bits must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def interleave_bits(coords: Sequence[int], bits: int) -> int:
+    """Interleave the bits of ``coords`` into a single Morton (Z-order) key.
+
+    ``coords`` is a point ``(x_1, ..., x_d)``; each coordinate is treated as a
+    ``bits``-bit binary number.  Following the paper's convention, bits are
+    taken from the most significant position downwards, and within one bit
+    position dimension 1 contributes first.  The example from Section 5 of the
+    paper:
+
+    >>> interleave_bits((0b010, 0b011), 3)
+    13
+
+    (cell ``a`` with coordinates ``(010, 011)`` has key ``001101 = 13``).
+
+    Raises ``ValueError`` if any coordinate does not fit in ``bits`` bits.
+    """
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    key = 0
+    for x in coords:
+        if x < 0 or x.bit_length() > bits:
+            raise ValueError(f"coordinate {x} does not fit in {bits} bits")
+    for level in range(bits - 1, -1, -1):
+        for x in coords:
+            key = (key << 1) | ((x >> level) & 1)
+    return key
+
+
+def deinterleave_bits(key: int, dims: int, bits: int) -> Tuple[int, ...]:
+    """Invert :func:`interleave_bits`.
+
+    >>> deinterleave_bits(13, 2, 3)
+    (2, 3)
+    """
+    if dims <= 0:
+        raise ValueError(f"dims must be positive, got {dims}")
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    if key < 0 or key.bit_length() > dims * bits:
+        raise ValueError(f"key {key} does not fit in {dims * bits} bits")
+    coords = [0] * dims
+    for level in range(bits):
+        for dim in range(dims - 1, -1, -1):
+            coords[dim] |= (key & 1) << level
+            key >>= 1
+    return tuple(coords)
+
+
+def gray_encode(x: int) -> int:
+    """Return the binary-reflected Gray code of ``x``.
+
+    >>> [gray_encode(i) for i in range(4)]
+    [0, 1, 3, 2]
+    """
+    if x < 0:
+        raise ValueError(f"gray_encode requires a non-negative integer, got {x}")
+    return x ^ (x >> 1)
+
+
+def gray_decode(g: int) -> int:
+    """Invert :func:`gray_encode`.
+
+    >>> [gray_decode(gray_encode(i)) for i in range(8)]
+    [0, 1, 2, 3, 4, 5, 6, 7]
+    """
+    if g < 0:
+        raise ValueError(f"gray_decode requires a non-negative integer, got {g}")
+    x = 0
+    while g:
+        x ^= g
+        g >>= 1
+    return x
+
+
+def bits_of(x: int, width: int) -> Tuple[int, ...]:
+    """Return the bits of ``x`` as a tuple, most significant first, padded to ``width``.
+
+    >>> bits_of(5, 4)
+    (0, 1, 0, 1)
+    """
+    if x < 0:
+        raise ValueError(f"bits_of requires a non-negative integer, got {x}")
+    if x.bit_length() > width:
+        raise ValueError(f"{x} does not fit in {width} bits")
+    return tuple((x >> i) & 1 for i in range(width - 1, -1, -1))
+
+
+def from_bits(bits: Iterable[int]) -> int:
+    """Assemble an integer from bits given most-significant first.
+
+    >>> from_bits((0, 1, 0, 1))
+    5
+    """
+    x = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {b}")
+        x = (x << 1) | b
+    return x

@@ -1,0 +1,36 @@
+"""Index structures: the SFC array and its backends, plus spatial baselines."""
+
+from .avl import AVLTree
+from .backends import (
+    BACKEND_NAMES,
+    AVLBackend,
+    OrderedMapBackend,
+    SkipListBackend,
+    SortedListBackend,
+    make_backend,
+)
+from .kdtree import KDTree, KDTreeStats
+from .range_tree import RangeTree, RangeTreeStats
+from .rtree import RTree, RTreeStats
+from .sfc_array import SFCArray, SFCArrayStats, StoredItem
+from .skiplist import SkipList
+
+__all__ = [
+    "AVLTree",
+    "SkipList",
+    "BACKEND_NAMES",
+    "AVLBackend",
+    "OrderedMapBackend",
+    "SkipListBackend",
+    "SortedListBackend",
+    "make_backend",
+    "KDTree",
+    "KDTreeStats",
+    "RangeTree",
+    "RangeTreeStats",
+    "RTree",
+    "RTreeStats",
+    "SFCArray",
+    "SFCArrayStats",
+    "StoredItem",
+]

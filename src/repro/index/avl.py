@@ -1,0 +1,294 @@
+"""An AVL tree: the balanced-binary-tree backend for the SFC array.
+
+The paper suggests maintaining the SFC array in "a dynamic ordered data
+structure such as a balanced binary tree".  This module provides exactly that:
+an AVL-balanced ordered map with ``O(log n)`` worst-case insert, delete,
+lookup, ceiling/floor and range positioning, plus order statistics (rank and
+select) which the analysis layer uses to count points inside a key range
+without scanning it.
+
+The interface mirrors :class:`repro.index.skiplist.SkipList` so the SFC array
+can switch backends freely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["AVLTree"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class _Node(Generic[K, V]):
+    __slots__ = ("key", "value", "left", "right", "height", "size")
+
+    def __init__(self, key: K, value: V) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node[K, V]"] = None
+        self.right: Optional["_Node[K, V]"] = None
+        self.height = 1
+        self.size = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.size = 1 + _size(node.left) + _size(node.right)
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    pivot = node.left
+    assert pivot is not None
+    node.left = pivot.right
+    pivot.right = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rotate_left(node: _Node) -> _Node:
+    pivot = node.right
+    assert pivot is not None
+    node.right = pivot.left
+    pivot.left = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree(Generic[K, V]):
+    """An ordered map with worst-case logarithmic operations and order statistics."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node[K, V]] = None
+
+    # --------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def get(self, key: K, default: Any = None) -> Any:
+        """Return the value stored under ``key``, or ``default`` when absent."""
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right  # type: ignore[operator]
+        return default
+
+    # --------------------------------------------------------------- insert
+    def insert(self, key: K, value: V) -> None:
+        """Insert ``key`` with ``value``; replaces the value if the key exists."""
+        self._root = self._insert(self._root, key, value)
+
+    def _insert(self, node: Optional[_Node[K, V]], key: K, value: V) -> _Node[K, V]:
+        if node is None:
+            return _Node(key, value)
+        if key == node.key:
+            node.value = value
+            return node
+        if key < node.key:  # type: ignore[operator]
+            node.left = self._insert(node.left, key, value)
+        else:
+            node.right = self._insert(node.right, key, value)
+        return _rebalance(node)
+
+    # --------------------------------------------------------------- delete
+    def delete(self, key: K) -> bool:
+        """Remove ``key``; return True when it was present."""
+        self._root, removed = self._delete(self._root, key)
+        return removed
+
+    def _delete(self, node: Optional[_Node[K, V]], key: K) -> Tuple[Optional[_Node[K, V]], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:  # type: ignore[operator]
+            node.left, removed = self._delete(node.left, key)
+        elif key > node.key:  # type: ignore[operator]
+            node.right, removed = self._delete(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _ = self._delete(node.right, successor.key)
+        return _rebalance(node), removed
+
+    # ----------------------------------------------------------- positioning
+    def ceiling(self, key: K) -> Optional[Tuple[K, V]]:
+        """Return the pair with the smallest key ``>= key``, or ``None``."""
+        best: Optional[_Node[K, V]] = None
+        node = self._root
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key > key:  # type: ignore[operator]
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def floor(self, key: K) -> Optional[Tuple[K, V]]:
+        """Return the pair with the largest key ``<= key``, or ``None``."""
+        best: Optional[_Node[K, V]] = None
+        node = self._root
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:  # type: ignore[operator]
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def first_in_range(self, low: K, high: K) -> Optional[Tuple[K, V]]:
+        """Return the first pair with key in ``[low, high]``, or ``None``."""
+        candidate = self.ceiling(low)
+        if candidate is not None and candidate[0] <= high:  # type: ignore[operator]
+            return candidate
+        return None
+
+    def items_in_range(self, low: K, high: K) -> Iterator[Tuple[K, V]]:
+        """Yield pairs with ``low <= key <= high`` in ascending key order."""
+        stack: List[_Node[K, V]] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                if node.key < low:  # type: ignore[operator]
+                    node = node.right
+                else:
+                    stack.append(node)
+                    node = node.left
+            if not stack:
+                return
+            node = stack.pop()
+            if node.key > high:  # type: ignore[operator]
+                return
+            yield (node.key, node.value)
+            node = node.right
+
+    # ------------------------------------------------------ order statistics
+    def rank(self, key: K) -> int:
+        """Return the number of stored keys strictly less than ``key``."""
+        count = 0
+        node = self._root
+        while node is not None:
+            if key <= node.key:  # type: ignore[operator]
+                node = node.left
+            else:
+                count += 1 + _size(node.left)
+                node = node.right
+        return count
+
+    def count_in_range(self, low: K, high: K) -> int:
+        """Return the number of keys in ``[low, high]`` without iterating them."""
+        if high < low:  # type: ignore[operator]
+            return 0
+        return self.rank(high) - self.rank(low) + (1 if high in self else 0)
+
+    def select(self, index: int) -> Tuple[K, V]:
+        """Return the pair with the ``index``-th smallest key (0-based)."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for tree of size {len(self)}")
+        node = self._root
+        while node is not None:
+            left = _size(node.left)
+            if index < left:
+                node = node.left
+            elif index == left:
+                return (node.key, node.value)
+            else:
+                index -= left + 1
+                node = node.right
+        raise AssertionError("unreachable: size bookkeeping is inconsistent")
+
+    # -------------------------------------------------------------- iteration
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Yield all pairs in ascending key order."""
+        stack: List[_Node[K, V]] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def keys(self) -> Iterator[K]:
+        for key, _ in self.items():
+            yield key
+
+    def __iter__(self) -> Iterator[K]:
+        return self.keys()
+
+    def check_invariants(self) -> None:
+        """Verify AVL balance and ordering; used by the property tests."""
+        def recurse(node: Optional[_Node[K, V]]) -> Tuple[int, int]:
+            if node is None:
+                return 0, 0
+            lh, ls = recurse(node.left)
+            rh, rs = recurse(node.right)
+            if abs(lh - rh) > 1:
+                raise AssertionError(f"AVL balance violated at key {node.key}")
+            if node.height != 1 + max(lh, rh):
+                raise AssertionError(f"height bookkeeping wrong at key {node.key}")
+            if node.size != 1 + ls + rs:
+                raise AssertionError(f"size bookkeeping wrong at key {node.key}")
+            if node.left is not None and not node.left.key < node.key:  # type: ignore[operator]
+                raise AssertionError(f"ordering violated at key {node.key}")
+            if node.right is not None and not node.key < node.right.key:  # type: ignore[operator]
+                raise AssertionError(f"ordering violated at key {node.key}")
+            return 1 + max(lh, rh), 1 + ls + rs
+
+        recurse(self._root)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AVLTree(size={len(self)})"
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,164 @@
+"""Ordered-map backends for the SFC array.
+
+The SFC array only needs a small ordered-map contract: insert, delete, exact
+lookup, "first key in a range" and an ordered range scan.  Three backends
+implement it:
+
+* :class:`SkipListBackend` — the skip list from :mod:`repro.index.skiplist`.
+* :class:`AVLBackend` — the AVL tree from :mod:`repro.index.avl`.
+* :class:`SortedListBackend` — a plain Python list kept sorted with ``bisect``;
+  ``O(n)`` insertion/deletion but extremely fast constants and binary-search
+  range probes.  This is the baseline the ablation benchmark compares against.
+
+All three are interchangeable through :func:`make_backend`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Protocol, Tuple
+
+from .avl import AVLTree
+from .skiplist import SkipList
+
+__all__ = [
+    "OrderedMapBackend",
+    "SkipListBackend",
+    "AVLBackend",
+    "SortedListBackend",
+    "make_backend",
+    "BACKEND_NAMES",
+]
+
+
+class OrderedMapBackend(Protocol):
+    """Contract required of an SFC-array backend (keys are integers)."""
+
+    def insert(self, key: int, value: Any) -> None: ...
+
+    def delete(self, key: int) -> bool: ...
+
+    def get(self, key: int, default: Any = None) -> Any: ...
+
+    def first_in_range(self, low: int, high: int) -> Optional[Tuple[int, Any]]: ...
+
+    def items_in_range(self, low: int, high: int) -> Iterator[Tuple[int, Any]]: ...
+
+    def items(self) -> Iterator[Tuple[int, Any]]: ...
+
+    def __len__(self) -> int: ...
+
+
+class SkipListBackend:
+    """Skip-list ordered map (expected ``O(log n)`` updates)."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._map: SkipList[int, Any] = SkipList(seed=seed)
+
+    def insert(self, key: int, value: Any) -> None:
+        self._map.insert(key, value)
+
+    def delete(self, key: int) -> bool:
+        return self._map.delete(key)
+
+    def get(self, key: int, default: Any = None) -> Any:
+        return self._map.get(key, default)
+
+    def first_in_range(self, low: int, high: int) -> Optional[Tuple[int, Any]]:
+        return self._map.first_in_range(low, high)
+
+    def items_in_range(self, low: int, high: int) -> Iterator[Tuple[int, Any]]:
+        return self._map.items_in_range(low, high)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return self._map.items()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class AVLBackend:
+    """AVL-tree ordered map (worst-case ``O(log n)`` updates)."""
+
+    def __init__(self) -> None:
+        self._map: AVLTree[int, Any] = AVLTree()
+
+    def insert(self, key: int, value: Any) -> None:
+        self._map.insert(key, value)
+
+    def delete(self, key: int) -> bool:
+        return self._map.delete(key)
+
+    def get(self, key: int, default: Any = None) -> Any:
+        return self._map.get(key, default)
+
+    def first_in_range(self, low: int, high: int) -> Optional[Tuple[int, Any]]:
+        return self._map.first_in_range(low, high)
+
+    def items_in_range(self, low: int, high: int) -> Iterator[Tuple[int, Any]]:
+        return self._map.items_in_range(low, high)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return self._map.items()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class SortedListBackend:
+    """Sorted Python list with binary-search probes (``O(n)`` updates)."""
+
+    def __init__(self) -> None:
+        self._keys: List[int] = []
+        self._values: Dict[int, Any] = {}
+
+    def insert(self, key: int, value: Any) -> None:
+        if key not in self._values:
+            bisect.insort(self._keys, key)
+        self._values[key] = value
+
+    def delete(self, key: int) -> bool:
+        if key not in self._values:
+            return False
+        del self._values[key]
+        idx = bisect.bisect_left(self._keys, key)
+        self._keys.pop(idx)
+        return True
+
+    def get(self, key: int, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def first_in_range(self, low: int, high: int) -> Optional[Tuple[int, Any]]:
+        idx = bisect.bisect_left(self._keys, low)
+        if idx < len(self._keys) and self._keys[idx] <= high:
+            key = self._keys[idx]
+            return (key, self._values[key])
+        return None
+
+    def items_in_range(self, low: int, high: int) -> Iterator[Tuple[int, Any]]:
+        idx = bisect.bisect_left(self._keys, low)
+        while idx < len(self._keys) and self._keys[idx] <= high:
+            key = self._keys[idx]
+            yield (key, self._values[key])
+            idx += 1
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        for key in self._keys:
+            yield (key, self._values[key])
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+BACKEND_NAMES = ("skiplist", "avl", "sortedlist")
+
+
+def make_backend(name: str, seed: Optional[int] = None) -> OrderedMapBackend:
+    """Instantiate a backend by name (``skiplist``, ``avl`` or ``sortedlist``)."""
+    if name == "skiplist":
+        return SkipListBackend(seed=seed)
+    if name == "avl":
+        return AVLBackend()
+    if name == "sortedlist":
+        return SortedListBackend()
+    raise ValueError(f"unknown SFC-array backend {name!r}; choose one of {BACKEND_NAMES}")

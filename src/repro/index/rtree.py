@@ -1,0 +1,270 @@
+"""An R-tree baseline for rectangle-enclosure (subscription covering) queries.
+
+Spatial databases answer "which stored rectangles enclose this rectangle?"
+with an R-tree rather than by transforming to point dominance.  The
+reproduction includes one so the evaluation can compare the paper's SFC
+approach against the data structure a practitioner would otherwise reach for:
+
+* each subscription is stored as its ``β``-dimensional quantised rectangle;
+* internal nodes keep the minimum bounding rectangle (MBR) of their subtree;
+* an enclosure query descends only into nodes whose MBR encloses the query
+  rectangle — if an ancestor's MBR does not enclose the query, no descendant
+  rectangle can.
+
+The implementation is a straightforward quadratic-split R-tree (Guttman 1984):
+no bulk loading, dynamic inserts, tombstone-free deletes by re-insertion of
+leaf entries.  It is intentionally simple — it exists as a measured baseline,
+not as a production spatial index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["RTree", "RTreeStats"]
+
+Range = Tuple[int, int]
+Box = Tuple[Range, ...]
+
+
+@dataclass
+class RTreeStats:
+    """Counters for nodes visited during queries."""
+
+    queries: int = 0
+    nodes_visited: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.nodes_visited = 0
+
+
+def _mbr(boxes: Sequence[Box]) -> Box:
+    """Minimum bounding rectangle of a non-empty collection of boxes."""
+    dims = len(boxes[0])
+    return tuple(
+        (min(box[d][0] for box in boxes), max(box[d][1] for box in boxes)) for d in range(dims)
+    )
+
+
+def _encloses(outer: Box, inner: Box) -> bool:
+    return all(olo <= ilo and ihi <= ohi for (olo, ohi), (ilo, ihi) in zip(outer, inner))
+
+
+def _area(box: Box) -> float:
+    area = 1.0
+    for lo, hi in box:
+        area *= hi - lo + 1
+    return area
+
+
+def _enlargement(box: Box, extra: Box) -> float:
+    merged = _mbr([box, extra])
+    return _area(merged) - _area(box)
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "mbr")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        # Leaf entries: (box, item_id); internal entries: (box, child node).
+        self.entries: List[Tuple[Box, object]] = []
+        self.mbr: Optional[Box] = None
+
+    def recompute_mbr(self) -> None:
+        self.mbr = _mbr([box for box, _ in self.entries]) if self.entries else None
+
+
+@dataclass
+class RTree:
+    """A Guttman R-tree over integer boxes supporting enclosure ("who covers me?") queries."""
+
+    dims: int
+    max_entries: int = 8
+    stats: RTreeStats = field(default_factory=RTreeStats)
+
+    def __post_init__(self) -> None:
+        if self.dims <= 0:
+            raise ValueError(f"dims must be positive, got {self.dims}")
+        if self.max_entries < 4:
+            raise ValueError(f"max_entries must be at least 4, got {self.max_entries}")
+        self._min_entries = max(2, self.max_entries // 2)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, item_id: Hashable, box: Sequence[Range]) -> None:
+        """Insert a box (a subscription's quantised ranges) under ``item_id``."""
+        validated = self._validate(box)
+        split = self._insert(self._root, validated, item_id)
+        if split is not None:
+            # Root was split: grow the tree by one level.
+            old_root = self._root
+            new_root = _Node(leaf=False)
+            new_root.entries = [(old_root.mbr, old_root), (split.mbr, split)]
+            new_root.recompute_mbr()
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, box: Box, item_id: Hashable) -> Optional[_Node]:
+        if node.leaf:
+            node.entries.append((box, item_id))
+        else:
+            # Choose the child needing least MBR enlargement.
+            best_index = min(
+                range(len(node.entries)),
+                key=lambda i: (_enlargement(node.entries[i][0], box), _area(node.entries[i][0])),
+            )
+            child_box, child = node.entries[best_index]
+            split = self._insert(child, box, item_id)  # type: ignore[arg-type]
+            node.entries[best_index] = (child.mbr, child)  # type: ignore[union-attr]
+            if split is not None:
+                node.entries.append((split.mbr, split))
+        node.recompute_mbr()
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: pick the two most wasteful seeds, distribute the rest."""
+        entries = node.entries
+        worst_pair = (0, 1)
+        worst_waste = -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = _area(_mbr([entries[i][0], entries[j][0]])) - _area(entries[i][0]) - _area(
+                    entries[j][0]
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        seed_a, seed_b = worst_pair
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rest = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
+        for entry in rest:
+            # Keep groups above the minimum fill factor.
+            if len(group_a) + len(rest) <= self._min_entries:
+                group_a.append(entry)
+                continue
+            if len(group_b) + len(rest) <= self._min_entries:
+                group_b.append(entry)
+                continue
+            grow_a = _enlargement(_mbr([b for b, _ in group_a]), entry[0])
+            grow_b = _enlargement(_mbr([b for b, _ in group_b]), entry[0])
+            (group_a if grow_a <= grow_b else group_b).append(entry)
+        node.entries = group_a
+        node.recompute_mbr()
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        sibling.recompute_mbr()
+        return sibling
+
+    # ------------------------------------------------------------------ delete
+    def delete(self, item_id: Hashable, box: Sequence[Range]) -> bool:
+        """Remove ``(item_id, box)``; return True when it was stored."""
+        validated = self._validate(box)
+        removed = self._delete(self._root, validated, item_id)
+        if removed:
+            self._size -= 1
+            # Collapse a non-leaf root with a single child.
+            while not self._root.leaf and len(self._root.entries) == 1:
+                self._root = self._root.entries[0][1]  # type: ignore[assignment]
+        return removed
+
+    def _delete(self, node: _Node, box: Box, item_id: Hashable) -> bool:
+        if node.leaf:
+            for i, (entry_box, entry_id) in enumerate(node.entries):
+                if entry_box == box and entry_id == item_id:
+                    node.entries.pop(i)
+                    node.recompute_mbr()
+                    return True
+            return False
+        for i, (entry_box, child) in enumerate(node.entries):
+            if _encloses(entry_box, box) and self._delete(child, box, item_id):  # type: ignore[arg-type]
+                if child.entries:  # type: ignore[union-attr]
+                    node.entries[i] = (child.mbr, child)  # type: ignore[union-attr]
+                else:
+                    node.entries.pop(i)
+                node.recompute_mbr()
+                return True
+        return False
+
+    # ------------------------------------------------------------------ queries
+    def find_enclosing(self, box: Sequence[Range]) -> Optional[Hashable]:
+        """Return any stored box that encloses ``box`` (i.e. a covering subscription), or ``None``."""
+        validated = self._validate(box)
+        self.stats.queries += 1
+        return self._find(self._root, validated)
+
+    def _find(self, node: _Node, box: Box) -> Optional[Hashable]:
+        self.stats.nodes_visited += 1
+        if node.mbr is None or not _encloses(node.mbr, box):
+            return None
+        if node.leaf:
+            for entry_box, item_id in node.entries:
+                if _encloses(entry_box, box):
+                    return item_id
+            return None
+        for entry_box, child in node.entries:
+            if _encloses(entry_box, box):
+                found = self._find(child, box)  # type: ignore[arg-type]
+                if found is not None:
+                    return found
+        return None
+
+    def all_enclosing(self, box: Sequence[Range]) -> List[Hashable]:
+        """Return every stored box enclosing ``box`` (testing oracle)."""
+        validated = self._validate(box)
+        results: List[Hashable] = []
+
+        def recurse(node: _Node) -> None:
+            if node.mbr is None or not _encloses(node.mbr, validated):
+                return
+            if node.leaf:
+                results.extend(
+                    item_id for entry_box, item_id in node.entries if _encloses(entry_box, validated)
+                )
+                return
+            for entry_box, child in node.entries:
+                if _encloses(entry_box, validated):
+                    recurse(child)  # type: ignore[arg-type]
+
+        recurse(self._root)
+        return results
+
+    # ------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Verify MBR containment and fill factors (used by the property tests)."""
+
+        def recurse(node: _Node, depth: int) -> int:
+            if node is not self._root and node.entries:
+                assert len(node.entries) <= self.max_entries
+            if node.mbr is not None:
+                assert node.mbr == _mbr([box for box, _ in node.entries])
+            if node.leaf:
+                return depth
+            depths = set()
+            for entry_box, child in node.entries:
+                assert isinstance(child, _Node)
+                assert child.mbr is not None and _encloses(entry_box, child.mbr)
+                depths.add(recurse(child, depth + 1))
+            assert len(depths) == 1, "R-tree leaves must all be at the same depth"
+            return depths.pop()
+
+        recurse(self._root, 0)
+
+    # -------------------------------------------------------------- internals
+    def _validate(self, box: Sequence[Range]) -> Box:
+        validated = tuple((int(lo), int(hi)) for lo, hi in box)
+        if len(validated) != self.dims:
+            raise ValueError(f"box {validated} has {len(validated)} dimensions, expected {self.dims}")
+        for lo, hi in validated:
+            if lo > hi:
+                raise ValueError(f"box range [{lo}, {hi}] is inverted")
+        return validated

@@ -1,0 +1,176 @@
+"""The SFC array: points stored in space-filling-curve key order.
+
+The paper's only data structure (Section 2, Section 5): input points are
+sorted by the key of the cell containing them and kept in a dynamic ordered
+structure.  A *run* — a contiguous segment of keys — can then be examined for
+emptiness with two binary searches, which is why the cost of a query is the
+number of runs touched rather than the volume covered.
+
+:class:`SFCArray` stores ``(item_id, point)`` pairs under their curve keys.
+Multiple items may share a cell (identical subscriptions map to the same
+point), so each key holds a small bucket.  The ordered-map backend is
+pluggable (skip list / AVL tree / sorted list) via
+:mod:`repro.index.backends`.
+
+Instrumentation: the array counts range probes and items scanned so that
+benchmarks can report the work done by approximate vs exhaustive queries in
+backend-independent units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, Optional, Sequence, Tuple
+
+from ..sfc.base import KeyRange, SpaceFillingCurve
+from .backends import OrderedMapBackend, make_backend
+
+__all__ = ["SFCArray", "SFCArrayStats", "StoredItem"]
+
+
+@dataclass(frozen=True)
+class StoredItem:
+    """An entry of the SFC array: an opaque identifier and its cell."""
+
+    item_id: Hashable
+    point: Tuple[int, ...]
+
+
+@dataclass
+class SFCArrayStats:
+    """Operation counters used by benchmarks and tests."""
+
+    inserts: int = 0
+    deletes: int = 0
+    range_probes: int = 0
+    range_scans: int = 0
+    items_scanned: int = 0
+
+    def reset(self) -> None:
+        self.inserts = 0
+        self.deletes = 0
+        self.range_probes = 0
+        self.range_scans = 0
+        self.items_scanned = 0
+
+
+@dataclass
+class _Bucket:
+    """All items that map to the same cell (and therefore the same key)."""
+
+    items: Dict[Hashable, StoredItem] = field(default_factory=dict)
+
+
+class SFCArray:
+    """Points indexed in SFC key order with pluggable ordered-map backend."""
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        backend: str | OrderedMapBackend = "avl",
+        seed: Optional[int] = None,
+    ) -> None:
+        self.curve = curve
+        self.universe = curve.universe
+        if isinstance(backend, str):
+            self._backend: OrderedMapBackend = make_backend(backend, seed=seed)
+            self.backend_name = backend
+        else:
+            self._backend = backend
+            self.backend_name = type(backend).__name__
+        self._key_of_item: Dict[Hashable, int] = {}
+        self.stats = SFCArrayStats()
+
+    # ---------------------------------------------------------------- updates
+    def __len__(self) -> int:
+        return len(self._key_of_item)
+
+    def __contains__(self, item_id: Hashable) -> bool:
+        return item_id in self._key_of_item
+
+    def add(self, item_id: Hashable, point: Sequence[int]) -> int:
+        """Insert an item at ``point``; returns the curve key it was stored under.
+
+        Re-adding an existing ``item_id`` moves it to the new point.
+        """
+        pt = self.universe.validate_point(point)
+        if item_id in self._key_of_item:
+            self.remove(item_id)
+        key = self.curve.key(pt)
+        bucket: Optional[_Bucket] = self._backend.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._backend.insert(key, bucket)
+        bucket.items[item_id] = StoredItem(item_id, pt)
+        self._key_of_item[item_id] = key
+        self.stats.inserts += 1
+        return key
+
+    def remove(self, item_id: Hashable) -> bool:
+        """Remove an item by id; return True when it was present."""
+        key = self._key_of_item.pop(item_id, None)
+        if key is None:
+            return False
+        bucket: Optional[_Bucket] = self._backend.get(key)
+        if bucket is not None:
+            bucket.items.pop(item_id, None)
+            if not bucket.items:
+                self._backend.delete(key)
+        self.stats.deletes += 1
+        return True
+
+    def point_of(self, item_id: Hashable) -> Optional[Tuple[int, ...]]:
+        """Return the point at which ``item_id`` is stored, or ``None``."""
+        key = self._key_of_item.get(item_id)
+        if key is None:
+            return None
+        bucket: Optional[_Bucket] = self._backend.get(key)
+        if bucket is None:
+            return None
+        stored = bucket.items.get(item_id)
+        return stored.point if stored is not None else None
+
+    # ---------------------------------------------------------------- queries
+    def first_in_key_range(self, key_range: KeyRange) -> Optional[StoredItem]:
+        """Return any one item whose key lies in the inclusive range, or ``None``.
+
+        This is the run-emptiness probe of the paper: two binary searches in
+        the ordered structure, independent of how many cells the run spans.
+        """
+        low, high = key_range
+        self.stats.range_probes += 1
+        hit = self._backend.first_in_range(low, high)
+        if hit is None:
+            return None
+        _, bucket = hit
+        # Buckets are never left empty, so next(iter(...)) is safe.
+        return next(iter(bucket.items.values()))
+
+    def items_in_key_range(self, key_range: KeyRange) -> Iterator[StoredItem]:
+        """Yield every item whose key lies in the inclusive range, in key order."""
+        low, high = key_range
+        self.stats.range_scans += 1
+        for _, bucket in self._backend.items_in_range(low, high):
+            for stored in bucket.items.values():
+                self.stats.items_scanned += 1
+                yield stored
+
+    def count_in_key_range(self, key_range: KeyRange) -> int:
+        """Return the number of items stored in the inclusive key range."""
+        return sum(1 for _ in self.items_in_key_range(key_range))
+
+    def items(self) -> Iterator[StoredItem]:
+        """Yield every stored item in curve-key order."""
+        for _, bucket in self._backend.items():
+            yield from bucket.items.values()
+
+    def keys(self) -> Iterator[int]:
+        """Yield the distinct occupied curve keys in ascending order."""
+        for key, _ in self._backend.items():
+            yield key
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SFCArray(curve={self.curve.name}, backend={self.backend_name}, "
+            f"items={len(self)})"
+        )

@@ -1,0 +1,175 @@
+"""A skip list: the dynamic ordered map backing the SFC array.
+
+The paper's Section 5 notes that the SFC array "could be implemented using any
+dynamic unidimensional data structure such as a binary tree or a skip list".
+This module provides the skip-list option: an ordered map from integer keys to
+arbitrary values with expected ``O(log n)`` search, insert and delete, and
+``O(log n)`` positioning for range scans.
+
+The implementation is deterministic-friendly: the tower heights are drawn from
+a ``random.Random`` instance owned by the list, so experiments that need
+reproducibility can seed it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["SkipList"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class _Node(Generic[K, V]):
+    """Internal skip-list node: a key, a value and a tower of forward pointers."""
+
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[K], value: Optional[V], level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node[K, V]"]] = [None] * level
+
+
+class SkipList(Generic[K, V]):
+    """An ordered map with expected logarithmic operations.
+
+    Keys must be mutually comparable (the SFC array uses integers).  Each key
+    appears at most once; inserting an existing key replaces its value (use
+    :meth:`setdefault_list` style composition at a higher layer for
+    multimap behaviour).
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._head: _Node[K, V] = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    # ------------------------------------------------------------- internals
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: K) -> List[_Node[K, V]]:
+        """Return, per level, the last node with key strictly less than ``key``."""
+        update: List[_Node[K, V]] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    # ------------------------------------------------------------ public API
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert ``key`` with ``value``; replaces the value if the key exists."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node: _Node[K, V] = _Node(key, value, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._size += 1
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key``; return True when it was present."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is None or candidate.key != key:
+            return False
+        for lvl in range(self._level):
+            if update[lvl].forward[lvl] is candidate:
+                update[lvl].forward[lvl] = candidate.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def get(self, key: K, default: Any = None) -> Any:
+        """Return the value stored under ``key``, or ``default`` when absent."""
+        node = self._find_predecessors(key)[0].forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def ceiling(self, key: K) -> Optional[Tuple[K, V]]:
+        """Return the ``(key, value)`` pair with the smallest key ``>= key``, or ``None``."""
+        node = self._find_predecessors(key)[0].forward[0]
+        if node is None:
+            return None
+        return (node.key, node.value)  # type: ignore[return-value]
+
+    def floor(self, key: K) -> Optional[Tuple[K, V]]:
+        """Return the ``(key, value)`` pair with the largest key ``<= key``, or ``None``."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            return (node.key, node.value)  # type: ignore[return-value]
+        pred = update[0]
+        if pred is self._head:
+            return None
+        return (pred.key, pred.value)  # type: ignore[return-value]
+
+    def items_in_range(self, low: K, high: K) -> Iterator[Tuple[K, V]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high`` in ascending key order."""
+        node = self._find_predecessors(low)[0].forward[0]
+        while node is not None and node.key <= high:  # type: ignore[operator]
+            yield (node.key, node.value)  # type: ignore[misc]
+            node = node.forward[0]
+
+    def first_in_range(self, low: K, high: K) -> Optional[Tuple[K, V]]:
+        """Return the first pair with key in ``[low, high]``, or ``None`` when the range is empty."""
+        node = self._find_predecessors(low)[0].forward[0]
+        if node is not None and node.key <= high:  # type: ignore[operator]
+            return (node.key, node.value)  # type: ignore[return-value]
+        return None
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Yield all pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield (node.key, node.value)  # type: ignore[misc]
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[K]:
+        """Yield all keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def __iter__(self) -> Iterator[K]:
+        return self.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SkipList(size={self._size}, level={self._level})"
+
+
+class _Missing:
+    """Sentinel distinct from any user value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,53 @@
+"""Content-based publish/subscribe substrate: schema, subscriptions, brokers, network."""
+
+from .broker import LOCAL_INTERFACE, Broker, ForwardDecision
+from .client import Publisher, Subscriber
+from .network import (
+    BrokerNetwork,
+    DeliveryRecord,
+    chain_topology,
+    star_topology,
+    tree_topology,
+)
+from .routing_table import (
+    ApproximateCoveringStrategy,
+    CoveringStrategy,
+    ExactCoveringStrategy,
+    InterfaceTable,
+    NoCoveringStrategy,
+    ProbabilisticCoveringStrategy,
+    RoutingTable,
+    make_covering_strategy,
+)
+from .schema import Attribute, AttributeSchema
+from .stats import BrokerStats, NetworkStats
+from .subscription import Event, Subscription, make_event, make_subscription
+
+__all__ = [
+    "LOCAL_INTERFACE",
+    "Broker",
+    "ForwardDecision",
+    "Publisher",
+    "Subscriber",
+    "BrokerNetwork",
+    "DeliveryRecord",
+    "chain_topology",
+    "star_topology",
+    "tree_topology",
+    "ApproximateCoveringStrategy",
+    "CoveringStrategy",
+    "ExactCoveringStrategy",
+    "InterfaceTable",
+    "NoCoveringStrategy",
+    "ProbabilisticCoveringStrategy",
+    "RoutingTable",
+    "make_covering_strategy",
+    "Attribute",
+    "AttributeSchema",
+    "BrokerStats",
+    "NetworkStats",
+    "Event",
+    "Subscription",
+    "make_event",
+    "make_subscription",
+]

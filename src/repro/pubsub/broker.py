@@ -1,0 +1,277 @@
+"""A content-based publish/subscribe broker with covering-based subscription propagation.
+
+Each broker maintains:
+
+* a :class:`RoutingTable` — per-interface subscription sets used to decide
+  where events are forwarded (reverse-path forwarding on the subscription
+  flow);
+* one :class:`CoveringStrategy` per *outgoing* interface — the set of
+  subscriptions already forwarded out of that interface, indexed so that
+  "has something covering this already been forwarded?" is answerable
+  quickly.  The strategy is the pluggable piece: none / exact linear scan /
+  ε-approximate SFC / probabilistic.
+
+Subscription propagation follows the standard covering optimisation: when a
+subscription arrives on interface ``I`` it is stored in the table for ``I``
+and considered for forwarding on every other interface ``J``.  It is actually
+forwarded on ``J`` only when no previously forwarded subscription covers it
+(according to the broker's covering strategy).  Because the SFC approximate
+strategy is *sound* — it only ever reports true covers — suppression never
+breaks delivery; it can merely happen less often than with exact covering.
+
+The broker is a synchronous simulation object: the :class:`BrokerNetwork`
+drives it by calling :meth:`receive_subscription` and :meth:`receive_event`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from .routing_table import CoveringStrategy, RoutingTable, make_covering_strategy
+from .schema import AttributeSchema
+from .stats import BrokerStats
+from .subscription import Event, Subscription
+
+__all__ = ["Broker", "ForwardDecision", "LOCAL_INTERFACE"]
+
+#: Pseudo-interface identifier for subscriptions registered by local clients.
+LOCAL_INTERFACE = "__local__"
+
+
+@dataclass(frozen=True)
+class ForwardDecision:
+    """Record of one propagation decision (useful for tests and traces)."""
+
+    subscription_id: Hashable
+    interface_id: Hashable
+    forwarded: bool
+    covered_by: Optional[Hashable]
+
+
+@dataclass
+class Broker:
+    """One router of the publish/subscribe overlay.
+
+    Parameters
+    ----------
+    broker_id:
+        Unique identifier in the network.
+    schema:
+        Message schema shared by the whole network.
+    covering:
+        Covering strategy kind (``"none"``, ``"exact"``, ``"approximate"``,
+        ``"probabilistic"``) applied independently per outgoing interface.
+    epsilon:
+        Approximation parameter for the ``"approximate"`` strategy.
+    backend:
+        SFC-array backend for the approximate strategy.
+    """
+
+    broker_id: Hashable
+    schema: AttributeSchema
+    covering: str = "approximate"
+    epsilon: float = 0.05
+    backend: str = "avl"
+    samples: int = 8
+    seed: Optional[int] = None
+    cube_budget: int = 2_000
+    stats: BrokerStats = field(default_factory=BrokerStats)
+
+    def __post_init__(self) -> None:
+        self.routing_table = RoutingTable()
+        self._neighbors: List[Hashable] = []
+        self._forwarded: Dict[Hashable, CoveringStrategy] = {}
+        self._forwarded_ids: Dict[Hashable, Set[Hashable]] = {}
+        self._suppressed: Dict[Hashable, Dict[Hashable, Subscription]] = {}
+        self._local_subscribers: Dict[Hashable, List[Subscription]] = {}
+        self._decision_log: List[ForwardDecision] = []
+        # Set by the network: called as send_subscription(from, to, subscription)
+        self._send_subscription: Optional[Callable[[Hashable, Hashable, Subscription], None]] = None
+        self._send_unsubscription: Optional[Callable[[Hashable, Hashable, Hashable], None]] = None
+        self._send_event: Optional[Callable[[Hashable, Hashable, Event], None]] = None
+        self._deliver: Optional[Callable[[Hashable, Hashable, Event], None]] = None
+
+    # ------------------------------------------------------------------ wiring
+    def connect(self, neighbor_id: Hashable) -> None:
+        """Register a neighbouring broker (called by the network while building the topology)."""
+        if neighbor_id not in self._neighbors:
+            self._neighbors.append(neighbor_id)
+            self._forwarded[neighbor_id] = make_covering_strategy(
+                self.covering,
+                self.schema,
+                epsilon=self.epsilon,
+                backend=self.backend,
+                samples=self.samples,
+                seed=self.seed,
+                cube_budget=self.cube_budget,
+            )
+            self._forwarded_ids[neighbor_id] = set()
+            self._suppressed[neighbor_id] = {}
+
+    def attach_transport(
+        self,
+        send_subscription: Callable[[Hashable, Hashable, Subscription], None],
+        send_event: Callable[[Hashable, Hashable, Event], None],
+        deliver: Callable[[Hashable, Hashable, Event], None],
+        send_unsubscription: Optional[Callable[[Hashable, Hashable, Hashable], None]] = None,
+    ) -> None:
+        """Attach the network's transport callbacks."""
+        self._send_subscription = send_subscription
+        self._send_unsubscription = send_unsubscription
+        self._send_event = send_event
+        self._deliver = deliver
+
+    @property
+    def neighbors(self) -> List[Hashable]:
+        return list(self._neighbors)
+
+    @property
+    def decision_log(self) -> List[ForwardDecision]:
+        return list(self._decision_log)
+
+    # ----------------------------------------------------------- subscriptions
+    def subscribe_local(self, client_id: Hashable, subscription: Subscription) -> None:
+        """Register a subscription from a locally attached client and propagate it."""
+        self._local_subscribers.setdefault(client_id, []).append(subscription)
+        self.receive_subscription(LOCAL_INTERFACE, subscription)
+
+    def receive_subscription(self, from_interface: Hashable, subscription: Subscription) -> None:
+        """Handle a subscription arriving from ``from_interface`` (neighbour or local client)."""
+        self.stats.subscriptions_received += 1
+        self.routing_table.table(from_interface).add(subscription)
+        self.stats.subscriptions_stored += 1
+        for neighbor_id in self._neighbors:
+            if neighbor_id == from_interface:
+                continue
+            self._consider_forwarding(neighbor_id, subscription)
+
+    def _consider_forwarding(self, neighbor_id: Hashable, subscription: Subscription) -> None:
+        strategy = self._forwarded[neighbor_id]
+        self.stats.covering_checks += 1
+        before = strategy.work_units()
+        covered_by = strategy.find_covering(subscription.ranges)
+        self.stats.covering_check_runs += strategy.work_units() - before
+        if covered_by is not None:
+            self.stats.subscriptions_suppressed += 1
+            self._suppressed[neighbor_id][subscription.sub_id] = subscription
+            self._decision_log.append(
+                ForwardDecision(subscription.sub_id, neighbor_id, False, covered_by)
+            )
+            return
+        strategy.add(subscription.sub_id, subscription.ranges)
+        self._forwarded_ids[neighbor_id].add(subscription.sub_id)
+        self.stats.subscriptions_forwarded += 1
+        self._decision_log.append(ForwardDecision(subscription.sub_id, neighbor_id, True, None))
+        if self._send_subscription is None:
+            raise RuntimeError(
+                f"broker {self.broker_id} has no transport attached; "
+                "add it to a BrokerNetwork before sending subscriptions"
+            )
+        self._send_subscription(self.broker_id, neighbor_id, subscription)
+
+    def has_forwarded(self, neighbor_id: Hashable, sub_id: Hashable) -> bool:
+        """Return True when ``sub_id`` was forwarded to ``neighbor_id`` (test helper)."""
+        return sub_id in self._forwarded_ids.get(neighbor_id, set())
+
+    # --------------------------------------------------------- unsubscriptions
+    def unsubscribe_local(self, client_id: Hashable, sub_id: Hashable) -> bool:
+        """Remove a locally registered subscription and propagate its withdrawal.
+
+        Returns True when the subscription was found.  Withdrawal is the
+        delicate part of covering-based propagation: if the withdrawn
+        subscription had been covering others on some link, those others must
+        now be (re)forwarded there or downstream brokers would stop routing
+        the events they still need.
+        """
+        subscriptions = self._local_subscribers.get(client_id, [])
+        for subscription in subscriptions:
+            if subscription.sub_id == sub_id:
+                subscriptions.remove(subscription)
+                self.receive_unsubscription(LOCAL_INTERFACE, sub_id)
+                return True
+        return False
+
+    def receive_unsubscription(self, from_interface: Hashable, sub_id: Hashable) -> None:
+        """Handle the withdrawal of ``sub_id`` announced on ``from_interface``."""
+        self.routing_table.table(from_interface).remove(sub_id)
+        for neighbor_id in self._neighbors:
+            if neighbor_id == from_interface:
+                continue
+            self._withdraw_from_neighbor(neighbor_id, sub_id)
+
+    def _withdraw_from_neighbor(self, neighbor_id: Hashable, sub_id: Hashable) -> None:
+        suppressed = self._suppressed[neighbor_id]
+        if sub_id in suppressed:
+            # Never forwarded there in the first place: just forget it.
+            del suppressed[sub_id]
+            return
+        if sub_id not in self._forwarded_ids[neighbor_id]:
+            return
+        strategy = self._forwarded[neighbor_id]
+        strategy.remove(sub_id)
+        self._forwarded_ids[neighbor_id].discard(sub_id)
+        if self._send_unsubscription is not None:
+            self._send_unsubscription(self.broker_id, neighbor_id, sub_id)
+        # Subscriptions previously suppressed on this link may have lost their
+        # cover; re-run the forwarding decision for each of them so downstream
+        # brokers keep receiving the events those subscribers still need.
+        for pending_id, pending in list(suppressed.items()):
+            self.stats.covering_checks += 1
+            before = strategy.work_units()
+            covered_by = strategy.find_covering(pending.ranges)
+            self.stats.covering_check_runs += strategy.work_units() - before
+            if covered_by is not None:
+                continue
+            del suppressed[pending_id]
+            strategy.add(pending_id, pending.ranges)
+            self._forwarded_ids[neighbor_id].add(pending_id)
+            self.stats.subscriptions_forwarded += 1
+            self._decision_log.append(ForwardDecision(pending_id, neighbor_id, True, None))
+            if self._send_subscription is not None:
+                self._send_subscription(self.broker_id, neighbor_id, pending)
+
+    # ------------------------------------------------------------------ events
+    def publish_local(self, event: Event) -> None:
+        """Inject an event published by a locally attached client."""
+        self.receive_event(LOCAL_INTERFACE, event)
+
+    def receive_event(self, from_interface: Hashable, event: Event) -> None:
+        """Deliver an event locally and forward it along matching interfaces."""
+        self.stats.events_received += 1
+        self._deliver_locally(event)
+        for interface_id in self.routing_table.matching_interfaces(event, exclude=from_interface):
+            if interface_id == LOCAL_INTERFACE or interface_id == from_interface:
+                continue
+            if interface_id not in self._neighbors:
+                continue
+            self.stats.events_forwarded += 1
+            if self._send_event is None:
+                raise RuntimeError(
+                    f"broker {self.broker_id} has no transport attached; "
+                    "add it to a BrokerNetwork before publishing events"
+                )
+            self._send_event(self.broker_id, interface_id, event)
+
+    def _deliver_locally(self, event: Event) -> None:
+        for client_id, subscriptions in self._local_subscribers.items():
+            for subscription in subscriptions:
+                self.stats.match_tests += 1
+                if subscription.matches(event):
+                    self.stats.events_delivered_locally += 1
+                    if self._deliver is not None:
+                        self._deliver(client_id, subscription.sub_id, event)
+                    break  # one delivery per client per event
+
+    # -------------------------------------------------------------- accounting
+    def routing_table_size(self) -> int:
+        """Total subscription entries stored in this broker's routing table."""
+        return self.routing_table.total_entries()
+
+    def local_subscriptions(self) -> List[Tuple[Hashable, Subscription]]:
+        """Return ``(client_id, subscription)`` pairs registered locally."""
+        return [
+            (client_id, sub)
+            for client_id, subs in self._local_subscribers.items()
+            for sub in subs
+        ]

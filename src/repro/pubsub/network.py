@@ -1,0 +1,261 @@
+"""The broker overlay network: topology, propagation, event routing and auditing.
+
+:class:`BrokerNetwork` wires :class:`Broker` instances into an acyclic overlay
+(publish/subscribe systems such as Siena and REBECA use tree or per-source
+tree topologies; an acyclic overlay means reverse-path forwarding needs no
+duplicate suppression).  The network provides the synchronous "transport":
+subscription and event messages between brokers are delivered immediately and
+counted.
+
+Beyond simulation the network audits correctness: for every published event it
+computes the ground-truth set of subscribers whose subscriptions match and
+compares it with the deliveries that actually happened, so experiments can
+verify the paper's safety claim — approximate covering never loses events —
+and observe that an *unsound* strategy (the probabilistic baseline) can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .broker import Broker
+from .schema import AttributeSchema
+from .stats import NetworkStats
+from .subscription import Event, Subscription
+
+__all__ = ["BrokerNetwork", "DeliveryRecord", "tree_topology", "chain_topology", "star_topology"]
+
+
+def tree_topology(num_brokers: int, branching: int = 2) -> List[Tuple[int, int]]:
+    """Return the edge list of a balanced tree with ``num_brokers`` nodes."""
+    if num_brokers <= 0:
+        raise ValueError(f"num_brokers must be positive, got {num_brokers}")
+    edges = []
+    for child in range(1, num_brokers):
+        parent = (child - 1) // branching
+        edges.append((parent, child))
+    return edges
+
+
+def chain_topology(num_brokers: int) -> List[Tuple[int, int]]:
+    """Return the edge list of a linear chain of brokers."""
+    return [(i, i + 1) for i in range(num_brokers - 1)]
+
+
+def star_topology(num_brokers: int) -> List[Tuple[int, int]]:
+    """Return the edge list of a star: broker 0 in the centre."""
+    return [(0, i) for i in range(1, num_brokers)]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivery of an event to a local subscriber."""
+
+    client_id: Hashable
+    subscription_id: Hashable
+    event_id: Hashable
+
+
+@dataclass
+class BrokerNetwork:
+    """A simulated network of content-based publish/subscribe brokers.
+
+    Parameters
+    ----------
+    schema:
+        Shared message schema.
+    covering:
+        Covering strategy used by every broker (``"none"``, ``"exact"``,
+        ``"approximate"``, ``"probabilistic"``).
+    epsilon:
+        Approximation parameter for the approximate strategy.
+    """
+
+    schema: AttributeSchema
+    covering: str = "approximate"
+    epsilon: float = 0.05
+    backend: str = "avl"
+    samples: int = 8
+    seed: Optional[int] = None
+    cube_budget: int = 2_000
+    brokers: Dict[Hashable, Broker] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.graph = nx.Graph()
+        self.subscription_messages = 0
+        self.unsubscription_messages = 0
+        self.event_messages = 0
+        self.deliveries: List[DeliveryRecord] = []
+        self._client_home: Dict[Hashable, Hashable] = {}
+        self._client_subscriptions: Dict[Hashable, List[Subscription]] = {}
+
+    # ---------------------------------------------------------------- topology
+    def add_broker(self, broker_id: Hashable) -> Broker:
+        """Create and register a broker."""
+        if broker_id in self.brokers:
+            raise ValueError(f"broker {broker_id!r} already exists")
+        broker = Broker(
+            broker_id=broker_id,
+            schema=self.schema,
+            covering=self.covering,
+            epsilon=self.epsilon,
+            backend=self.backend,
+            samples=self.samples,
+            seed=self.seed,
+            cube_budget=self.cube_budget,
+        )
+        broker.attach_transport(
+            self._transport_subscription,
+            self._transport_event,
+            self._record_delivery,
+            send_unsubscription=self._transport_unsubscription,
+        )
+        self.brokers[broker_id] = broker
+        self.graph.add_node(broker_id)
+        return broker
+
+    def connect(self, a: Hashable, b: Hashable) -> None:
+        """Connect two brokers with a bidirectional overlay link.
+
+        The overlay must stay acyclic; adding a link that would close a cycle
+        raises ``ValueError``.
+        """
+        if a not in self.brokers or b not in self.brokers:
+            raise ValueError(f"both brokers must exist before connecting ({a!r}, {b!r})")
+        if self.graph.has_edge(a, b):
+            return
+        if nx.has_path(self.graph, a, b):
+            raise ValueError(
+                f"connecting {a!r} and {b!r} would create a cycle; the overlay must be a tree"
+            )
+        self.graph.add_edge(a, b)
+        self.brokers[a].connect(b)
+        self.brokers[b].connect(a)
+
+    @classmethod
+    def from_topology(
+        cls,
+        schema: AttributeSchema,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        covering: str = "approximate",
+        epsilon: float = 0.05,
+        backend: str = "avl",
+        samples: int = 8,
+        seed: Optional[int] = None,
+        cube_budget: int = 2_000,
+    ) -> "BrokerNetwork":
+        """Build a network from an edge list (nodes are created on first sight)."""
+        network = cls(
+            schema=schema,
+            covering=covering,
+            epsilon=epsilon,
+            backend=backend,
+            samples=samples,
+            seed=seed,
+            cube_budget=cube_budget,
+        )
+        for a, b in edges:
+            if a not in network.brokers:
+                network.add_broker(a)
+            if b not in network.brokers:
+                network.add_broker(b)
+            network.connect(a, b)
+        if not network.brokers:
+            raise ValueError("topology has no edges; add at least one broker pair")
+        return network
+
+    # ---------------------------------------------------------------- transport
+    def _transport_subscription(self, sender: Hashable, receiver: Hashable, subscription: Subscription) -> None:
+        self.subscription_messages += 1
+        self.brokers[receiver].receive_subscription(sender, subscription)
+
+    def _transport_unsubscription(self, sender: Hashable, receiver: Hashable, sub_id: Hashable) -> None:
+        self.unsubscription_messages += 1
+        self.brokers[receiver].receive_unsubscription(sender, sub_id)
+
+    def _transport_event(self, sender: Hashable, receiver: Hashable, event: Event) -> None:
+        self.event_messages += 1
+        self.brokers[receiver].receive_event(sender, event)
+
+    def _record_delivery(self, client_id: Hashable, subscription_id: Hashable, event: Event) -> None:
+        self.deliveries.append(DeliveryRecord(client_id, subscription_id, event.event_id))
+
+    # ------------------------------------------------------------------- usage
+    def subscribe(self, broker_id: Hashable, client_id: Hashable, subscription: Subscription) -> None:
+        """Register a client subscription at ``broker_id`` and propagate it network-wide."""
+        if broker_id not in self.brokers:
+            raise ValueError(f"unknown broker {broker_id!r}")
+        self._client_home[client_id] = broker_id
+        self._client_subscriptions.setdefault(client_id, []).append(subscription)
+        self.brokers[broker_id].subscribe_local(client_id, subscription)
+
+    def unsubscribe(self, client_id: Hashable, sub_id: Hashable) -> bool:
+        """Withdraw a previously registered client subscription network-wide.
+
+        Returns True when the subscription existed.  The withdrawal is
+        propagated with the same covering-aware logic the brokers use, so
+        subscriptions that were suppressed because this one covered them are
+        re-forwarded where needed and no remaining subscriber loses events.
+        """
+        broker_id = self._client_home.get(client_id)
+        if broker_id is None:
+            return False
+        removed = self.brokers[broker_id].unsubscribe_local(client_id, sub_id)
+        if removed:
+            subscriptions = self._client_subscriptions.get(client_id, [])
+            self._client_subscriptions[client_id] = [
+                sub for sub in subscriptions if sub.sub_id != sub_id
+            ]
+        return removed
+
+    def publish(self, broker_id: Hashable, event: Event) -> Set[Hashable]:
+        """Publish ``event`` at ``broker_id``; return the set of clients it was delivered to."""
+        if broker_id not in self.brokers:
+            raise ValueError(f"unknown broker {broker_id!r}")
+        before = len(self.deliveries)
+        self.brokers[broker_id].publish_local(event)
+        return {record.client_id for record in self.deliveries[before:]}
+
+    # ---------------------------------------------------------------- auditing
+    def expected_recipients(self, event: Event) -> Set[Hashable]:
+        """Ground truth: every client with at least one subscription matching ``event``."""
+        return {
+            client_id
+            for client_id, subscriptions in self._client_subscriptions.items()
+            if any(sub.matches(event) for sub in subscriptions)
+        }
+
+    def publish_and_audit(self, broker_id: Hashable, event: Event) -> Tuple[Set[Hashable], Set[Hashable]]:
+        """Publish an event and return ``(missed_clients, extra_clients)`` against ground truth."""
+        delivered = self.publish(broker_id, event)
+        expected = self.expected_recipients(event)
+        return expected - delivered, delivered - expected
+
+    # ------------------------------------------------------------------- stats
+    def routing_table_entries(self) -> int:
+        """Total subscription entries stored across all brokers."""
+        return sum(broker.routing_table_size() for broker in self.brokers.values())
+
+    def collect_stats(self, events: Sequence[Tuple[Hashable, Event]] = ()) -> NetworkStats:
+        """Aggregate broker counters into a :class:`NetworkStats` snapshot.
+
+        ``events`` optionally replays an audit: each ``(broker_id, event)``
+        pair is published and checked against the ground truth, contributing
+        to the delivered/missed counters.
+        """
+        stats = NetworkStats(
+            per_broker={broker_id: broker.stats for broker_id, broker in self.brokers.items()},
+            routing_table_entries=self.routing_table_entries(),
+            subscription_messages=self.subscription_messages,
+            event_messages=self.event_messages,
+        )
+        for broker_id, event in events:
+            missed, extra = self.publish_and_audit(broker_id, event)
+            expected = self.expected_recipients(event)
+            stats.events_delivered += len(expected) - len(missed)
+            stats.events_missed += len(missed)
+            stats.duplicate_deliveries += len(extra)
+        return stats

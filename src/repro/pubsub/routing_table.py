@@ -1,0 +1,248 @@
+"""Per-interface routing tables with pluggable covering detection.
+
+A broker keeps, for every interface (a neighbouring broker or a local client),
+the set of subscriptions it has learnt through that interface.  Event
+forwarding consults the table: an event is sent out of an interface exactly
+when some subscription stored for that interface matches it.
+
+Covering enters when deciding whether an incoming subscription needs to be
+*forwarded* to a neighbour at all: if a subscription already forwarded to that
+neighbour covers the new one, forwarding is redundant.  The covering check is
+delegated to a :class:`CoveringStrategy`, of which three are provided —
+``none`` (always forward), ``exact`` (linear scan), and ``approximate`` (the
+paper's ε-approximate SFC detector).  The strategy factory keeps the broker
+code independent of which detector is in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Tuple
+
+from ..baselines.linear_scan import LinearScanCoveringDetector
+from ..baselines.probabilistic import ProbabilisticCoveringDetector
+from ..core.covering import ApproximateCoveringDetector
+from .schema import AttributeSchema
+from .subscription import Event, Subscription
+
+__all__ = [
+    "CoveringStrategy",
+    "NoCoveringStrategy",
+    "ExactCoveringStrategy",
+    "ApproximateCoveringStrategy",
+    "ProbabilisticCoveringStrategy",
+    "make_covering_strategy",
+    "InterfaceTable",
+    "RoutingTable",
+]
+
+
+class CoveringStrategy(Protocol):
+    """Minimal covering-detector contract the routing layer needs."""
+
+    #: Human-readable strategy name used in experiment reports.
+    name: str
+
+    def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
+        """Register a subscription that has been forwarded."""
+
+    def remove(self, sub_id: Hashable) -> bool:
+        """Unregister a subscription."""
+
+    def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
+        """Return a registered subscription covering ``ranges``, or ``None``."""
+
+    def work_units(self) -> int:
+        """Return an abstract work counter (comparisons or runs probed) for reporting."""
+
+
+@dataclass
+class NoCoveringStrategy:
+    """Covering disabled: every subscription is always forwarded."""
+
+    name: str = "none"
+
+    def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
+        return None
+
+    def remove(self, sub_id: Hashable) -> bool:
+        return False
+
+    def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
+        return None
+
+    def work_units(self) -> int:
+        return 0
+
+
+class ExactCoveringStrategy:
+    """Exact covering via linear scan over the registered subscriptions."""
+
+    def __init__(self, attributes: int, attribute_order: int) -> None:
+        self.name = "exact"
+        self._detector = LinearScanCoveringDetector(attributes, attribute_order)
+
+    def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
+        self._detector.add_subscription(sub_id, ranges)
+
+    def remove(self, sub_id: Hashable) -> bool:
+        return self._detector.remove_subscription(sub_id)
+
+    def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
+        return self._detector.find_covering(ranges)
+
+    def work_units(self) -> int:
+        return self._detector.stats.comparisons
+
+
+class ApproximateCoveringStrategy:
+    """The paper's ε-approximate covering detector backed by the Z-curve index."""
+
+    def __init__(
+        self,
+        attributes: int,
+        attribute_order: int,
+        epsilon: float = 0.05,
+        backend: str = "avl",
+        cube_budget: int = 100_000,
+    ) -> None:
+        self.name = f"approx(ε={epsilon})"
+        self.epsilon = epsilon
+        self._detector = ApproximateCoveringDetector(
+            attributes=attributes,
+            attribute_order=attribute_order,
+            epsilon=epsilon,
+            backend=backend,
+            cube_budget=cube_budget,
+        )
+        self._runs_probed = 0
+
+    def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
+        self._detector.add_subscription(sub_id, ranges)
+
+    def remove(self, sub_id: Hashable) -> bool:
+        return self._detector.remove_subscription(sub_id)
+
+    def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
+        result = self._detector.find_covering(ranges)
+        self._runs_probed += result.query.runs_probed
+        return result.covering_id
+
+    def work_units(self) -> int:
+        return self._runs_probed
+
+
+class ProbabilisticCoveringStrategy:
+    """Monte-Carlo covering (Ouksel et al. style); may produce unsound suppressions."""
+
+    def __init__(
+        self, attributes: int, attribute_order: int, samples: int = 8, seed: Optional[int] = None
+    ) -> None:
+        self.name = f"probabilistic(samples={samples})"
+        self._detector = ProbabilisticCoveringDetector(
+            attributes, attribute_order, samples=samples, seed=seed
+        )
+
+    def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
+        self._detector.add_subscription(sub_id, ranges)
+
+    def remove(self, sub_id: Hashable) -> bool:
+        return self._detector.remove_subscription(sub_id)
+
+    def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
+        return self._detector.find_covering(ranges)
+
+    def work_units(self) -> int:
+        return self._detector.stats.candidate_checks
+
+
+def make_covering_strategy(
+    kind: str,
+    schema: AttributeSchema,
+    epsilon: float = 0.05,
+    backend: str = "avl",
+    samples: int = 8,
+    seed: Optional[int] = None,
+    cube_budget: int = 2_000,
+) -> CoveringStrategy:
+    """Build a covering strategy by name: ``none``, ``exact``, ``approximate`` or ``probabilistic``.
+
+    ``cube_budget`` bounds the per-check work of the approximate strategy; a
+    router would enforce such a bound in practice so a single subscription
+    arrival cannot stall the forwarding path.
+    """
+    attributes = schema.num_attributes
+    order = schema.order
+    if kind == "none":
+        return NoCoveringStrategy()
+    if kind == "exact":
+        return ExactCoveringStrategy(attributes, order)
+    if kind == "approximate":
+        return ApproximateCoveringStrategy(
+            attributes, order, epsilon=epsilon, backend=backend, cube_budget=cube_budget
+        )
+    if kind == "probabilistic":
+        return ProbabilisticCoveringStrategy(attributes, order, samples=samples, seed=seed)
+    raise ValueError(
+        f"unknown covering strategy {kind!r}; expected 'none', 'exact', 'approximate' "
+        "or 'probabilistic'"
+    )
+
+
+class InterfaceTable:
+    """Subscriptions learnt through a single interface."""
+
+    def __init__(self, interface_id: Hashable) -> None:
+        self.interface_id = interface_id
+        self._subscriptions: Dict[Hashable, Subscription] = {}
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sub_id: Hashable) -> bool:
+        return sub_id in self._subscriptions
+
+    def add(self, subscription: Subscription) -> None:
+        self._subscriptions[subscription.sub_id] = subscription
+
+    def remove(self, sub_id: Hashable) -> bool:
+        return self._subscriptions.pop(sub_id, None) is not None
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    def matching(self, event: Event) -> List[Subscription]:
+        """Return the stored subscriptions matching ``event``."""
+        return [sub for sub in self._subscriptions.values() if sub.matches(event)]
+
+    def any_match(self, event: Event) -> bool:
+        """Return True when at least one stored subscription matches ``event``."""
+        return any(sub.matches(event) for sub in self._subscriptions.values())
+
+
+class RoutingTable:
+    """All interface tables of one broker."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[Hashable, InterfaceTable] = {}
+
+    def table(self, interface_id: Hashable) -> InterfaceTable:
+        """Return (creating on demand) the table for ``interface_id``."""
+        if interface_id not in self._tables:
+            self._tables[interface_id] = InterfaceTable(interface_id)
+        return self._tables[interface_id]
+
+    def interfaces(self) -> Iterable[Hashable]:
+        return self._tables.keys()
+
+    def total_entries(self) -> int:
+        """Total number of subscription entries across all interfaces."""
+        return sum(len(table) for table in self._tables.values())
+
+    def matching_interfaces(self, event: Event, exclude: Optional[Hashable] = None) -> List[Hashable]:
+        """Interfaces (≠ ``exclude``) holding at least one subscription matching ``event``."""
+        return [
+            interface_id
+            for interface_id, table in self._tables.items()
+            if interface_id != exclude and table.any_match(event)
+        ]

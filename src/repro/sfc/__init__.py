@@ -1,0 +1,23 @@
+"""Space filling curves: Z-order (Morton), Hilbert and Gray-code, plus run analysis."""
+
+from .base import KeyRange, SpaceFillingCurve
+from .gray import GrayCodeCurve, default_gray
+from .hilbert import HilbertCurve, default_hilbert
+from .runs import RunProfile, brute_force_run_profile, count_runs, cube_key_ranges, merge_key_ranges
+from .zorder import ZOrderCurve, default_zorder
+
+__all__ = [
+    "KeyRange",
+    "SpaceFillingCurve",
+    "GrayCodeCurve",
+    "HilbertCurve",
+    "ZOrderCurve",
+    "default_gray",
+    "default_hilbert",
+    "default_zorder",
+    "RunProfile",
+    "brute_force_run_profile",
+    "count_runs",
+    "cube_key_ranges",
+    "merge_key_ranges",
+]

@@ -1,0 +1,133 @@
+"""Run computation: how many contiguous key segments does a region occupy?
+
+A *run* is a maximal set of cells of a region that are consecutive in the SFC
+order.  The cost of an SFC-array query over a region is proportional to the
+number of runs the region decomposes into (each run costs two binary searches
+regardless of its length), so ``runs(T)`` is the central cost measure of the
+paper.
+
+``runs(T)`` is computed here by taking any exact partition of ``T`` into
+standard cubes (each cube is a single run by Fact 2.1), converting the cubes
+to key ranges and merging ranges that touch.  The number of merged ranges is
+exactly the number of maximal contiguous key segments of ``T`` — independent
+of which exact cube partition was used — because the union of the ranges is
+precisely the key set of ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..geometry.rect import Rectangle, StandardCube
+from .base import KeyRange, SpaceFillingCurve
+
+__all__ = ["merge_key_ranges", "cube_key_ranges", "count_runs", "RunProfile"]
+
+
+def merge_key_ranges(ranges: Iterable[KeyRange]) -> List[KeyRange]:
+    """Merge inclusive key ranges that overlap or are adjacent.
+
+    Returns the maximal disjoint ranges sorted by start key.
+
+    >>> merge_key_ranges([(4, 7), (0, 3), (10, 12)])
+    [(0, 7), (10, 12)]
+    """
+    sorted_ranges = sorted(ranges)
+    merged: List[KeyRange] = []
+    for lo, hi in sorted_ranges:
+        if lo > hi:
+            raise ValueError(f"invalid key range [{lo}, {hi}]")
+        if merged and lo <= merged[-1][1] + 1:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def cube_key_ranges(curve: SpaceFillingCurve, cubes: Sequence[StandardCube]) -> List[KeyRange]:
+    """Return the key range of each standard cube under ``curve`` (unmerged)."""
+    return [curve.cube_key_range(cube) for cube in cubes]
+
+
+def count_runs(curve: SpaceFillingCurve, cubes: Sequence[StandardCube]) -> int:
+    """Return ``runs(T)`` for the region partitioned exactly by ``cubes``."""
+    return len(merge_key_ranges(cube_key_ranges(curve, cubes)))
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Summary of how a region maps onto an SFC: runs, cubes, and volumes.
+
+    Attributes
+    ----------
+    curve_name:
+        Name of the SFC used.
+    num_cubes:
+        ``cubes(T)`` — size of the minimal standard-cube partition.
+    num_runs:
+        ``runs(T)`` — number of maximal contiguous key segments.
+    total_volume:
+        Number of cells in the region.
+    largest_run_volume:
+        Number of cells in the single largest run.
+    run_volumes:
+        Volume of every run, descending.
+    """
+
+    curve_name: str
+    num_cubes: int
+    num_runs: int
+    total_volume: int
+    largest_run_volume: int
+    run_volumes: Tuple[int, ...]
+
+    @property
+    def largest_run_fraction(self) -> float:
+        """Fraction of the region's volume contained in its largest run."""
+        if self.total_volume == 0:
+            return 0.0
+        return self.largest_run_volume / self.total_volume
+
+    @classmethod
+    def from_cubes(
+        cls, curve: SpaceFillingCurve, cubes: Sequence[StandardCube]
+    ) -> "RunProfile":
+        """Build a profile from an exact standard-cube partition of a region."""
+        ranges = merge_key_ranges(cube_key_ranges(curve, cubes))
+        volumes = tuple(sorted((hi - lo + 1 for lo, hi in ranges), reverse=True))
+        total = sum(cube.volume for cube in cubes)
+        return cls(
+            curve_name=curve.name,
+            num_cubes=len(cubes),
+            num_runs=len(ranges),
+            total_volume=total,
+            largest_run_volume=volumes[0] if volumes else 0,
+            run_volumes=volumes,
+        )
+
+
+def brute_force_run_profile(curve: SpaceFillingCurve, rect: Rectangle) -> RunProfile:
+    """Exhaustively compute the run profile of a small rectangle (testing oracle)."""
+    keys = sorted(curve.keys_of_rectangle(rect))
+    if not keys:
+        return RunProfile(curve.name, 0, 0, 0, 0, ())
+    run_volumes: List[int] = []
+    current = 1
+    for prev, cur in zip(keys, keys[1:]):
+        if cur == prev + 1:
+            current += 1
+        else:
+            run_volumes.append(current)
+            current = 1
+    run_volumes.append(current)
+    run_volumes.sort(reverse=True)
+    return RunProfile(
+        curve_name=curve.name,
+        num_cubes=-1,  # not computed by the brute-force oracle
+        num_runs=len(run_volumes),
+        total_volume=len(keys),
+        largest_run_volume=run_volumes[0],
+        run_volumes=tuple(run_volumes),
+    )

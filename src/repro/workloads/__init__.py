@@ -1,0 +1,27 @@
+"""Synthetic workload generators and application scenarios."""
+
+from .generators import (
+    EventWorkload,
+    SubscriptionSpec,
+    SubscriptionWorkload,
+    covering_chain,
+    random_extremal_lengths,
+)
+from .scenarios import (
+    Scenario,
+    auction_scenario,
+    sensor_network_scenario,
+    stock_market_scenario,
+)
+
+__all__ = [
+    "EventWorkload",
+    "SubscriptionSpec",
+    "SubscriptionWorkload",
+    "covering_chain",
+    "random_extremal_lengths",
+    "Scenario",
+    "auction_scenario",
+    "sensor_network_scenario",
+    "stock_market_scenario",
+]

@@ -1,0 +1,41 @@
+"""Tests for the experiment command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single_experiment_prints_table(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "256x256" in out and "257x257" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        assert main(["run", "fig1", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        written = (tmp_path / "fig1.txt").read_text()
+        assert "hilbert_runs" in written
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonexistent"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_registry_matches_driver_module(self):
+        # Every registered callable is an experiment driver returning a ResultTable.
+        from repro.analysis.reporting import ResultTable
+
+        table = EXPERIMENTS["fig1"]()
+        assert isinstance(table, ResultTable)

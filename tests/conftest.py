@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.universe import Universe
+from repro.sfc.gray import GrayCodeCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.zorder import ZOrderCurve
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for workload-style tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_universe_2d() -> Universe:
+    """A 2-dimensional 16×16 universe (small enough for brute-force oracles)."""
+    return Universe(dims=2, order=4)
+
+
+@pytest.fixture
+def small_universe_3d() -> Universe:
+    """A 3-dimensional 8×8×8 universe."""
+    return Universe(dims=3, order=3)
+
+
+@pytest.fixture(params=["z", "hilbert", "gray"])
+def any_curve_2d(request, small_universe_2d):
+    """Each of the three SFC implementations over the small 2-D universe."""
+    curves = {
+        "z": ZOrderCurve,
+        "hilbert": HilbertCurve,
+        "gray": GrayCodeCurve,
+    }
+    return curves[request.param](small_universe_2d)

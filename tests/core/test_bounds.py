@@ -1,0 +1,179 @@
+"""Tests for the analytic bounds (Theorem 3.1, Lemma 3.2/3.7, Theorem 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    adversarial_lengths,
+    adversarial_rectangle,
+    lemma32_min_volume_fraction,
+    lemma37_cube_bound,
+    theorem31_run_bound,
+    theorem41_lower_bound,
+)
+from repro.core.decomposition import (
+    count_cubes_extremal,
+    greedy_decomposition,
+    level_census,
+    truncation_bits,
+)
+from repro.geometry.rect import ExtremalRectangle
+from repro.geometry.universe import Universe
+from repro.sfc.runs import RunProfile
+from repro.sfc.zorder import ZOrderCurve
+from repro.workloads.generators import random_extremal_lengths
+
+
+class TestLemma32:
+    def test_guarantee_formula(self):
+        assert lemma32_min_volume_fraction(4, 8) == pytest.approx(1 - 8 / 256)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lemma32_min_volume_fraction(0, 3)
+        with pytest.raises(ValueError):
+            lemma32_min_volume_fraction(2, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_truncation_retains_guaranteed_volume(self, data):
+        """Lemma 3.2 measured: vol(R^m)/vol(R) ≥ 1 − 2d/2^m for every region."""
+        dims = data.draw(st.integers(1, 4))
+        order = data.draw(st.integers(3, 10))
+        universe = Universe(dims, order)
+        lengths = tuple(data.draw(st.integers(1, universe.side)) for _ in range(dims))
+        m = data.draw(st.integers(1, order))
+        region = ExtremalRectangle(universe, lengths)
+        truncated = region.truncated(m)
+        fraction = truncated.volume / region.volume
+        guarantee = lemma32_min_volume_fraction(dims, m)
+        assert fraction >= guarantee - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_epsilon_target_met(self, data):
+        """With m = truncation_bits(d, ε) the retained volume is at least 1 − ε."""
+        dims = data.draw(st.integers(1, 4))
+        epsilon = data.draw(st.floats(0.01, 0.9))
+        order = data.draw(st.integers(4, 12))
+        universe = Universe(dims, order)
+        lengths = tuple(data.draw(st.integers(1, universe.side)) for _ in range(dims))
+        m = truncation_bits(dims, epsilon)
+        region = ExtremalRectangle(universe, lengths)
+        fraction = region.truncated(m).volume / region.volume
+        assert fraction >= 1 - epsilon - 1e-12
+
+
+class TestLemma37AndTheorem31:
+    def test_bound_formula(self):
+        # m · [2^α (2^m − 1)]^{d−1}
+        assert lemma37_cube_bound(2, 0, 3) == 3 * 7
+        assert lemma37_cube_bound(3, 1, 2) == 2 * (2 * 3) ** 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lemma37_cube_bound(0, 0, 3)
+        with pytest.raises(ValueError):
+            lemma37_cube_bound(2, -1, 3)
+        with pytest.raises(ValueError):
+            lemma37_cube_bound(2, 0, 0)
+
+    def test_theorem31_uses_truncation_bits(self):
+        dims, alpha, epsilon = 4, 1, 0.05
+        m = truncation_bits(dims, epsilon)
+        assert theorem31_run_bound(dims, alpha, epsilon) == lemma37_cube_bound(dims, alpha, m)
+
+    def test_bound_independent_of_side_length(self):
+        """The headline claim: the approximate bound does not involve ℓ."""
+        assert theorem31_run_bound(4, 2, 0.1) == theorem31_run_bound(4, 2, 0.1)
+        # Nothing about the call takes a side length — this is structural, but
+        # we also check the measured cost stabilises (see the experiment test).
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_truncated_cube_count_within_bound(self, data):
+        """cubes(R^m(ℓ)) ≤ m·[2^α(2^m−1)]^{d−1} (Lemma 3.7) on random regions."""
+        dims = data.draw(st.integers(2, 3))
+        order = data.draw(st.integers(4, 8))
+        universe = Universe(dims, order)
+        alpha = data.draw(st.integers(0, 2))
+        seed = data.draw(st.integers(0, 10_000))
+        try:
+            lengths = random_extremal_lengths(dims, order, alpha=alpha, seed=seed)
+        except ValueError:
+            return  # alpha does not fit in this universe; skip the draw
+        m = data.draw(st.integers(1, order))
+        region = ExtremalRectangle(universe, lengths)
+        truncated = region.truncated(m)
+        measured = count_cubes_extremal(truncated)
+        assert measured <= lemma37_cube_bound(dims, alpha, m)
+
+
+class TestTheorem41:
+    def test_bound_formula(self):
+        assert theorem41_lower_bound(2, 1, 7) == 7
+        assert theorem41_lower_bound(3, 2, 15) == (2 * 15) ** 2
+
+    def test_alpha_zero_rounds_down(self):
+        assert theorem41_lower_bound(2, 0, 7) == 3  # (0.5·7)^1 = 3.5 → 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            theorem41_lower_bound(0, 1, 3)
+        with pytest.raises(ValueError):
+            theorem41_lower_bound(2, -1, 3)
+        with pytest.raises(ValueError):
+            theorem41_lower_bound(2, 1, 0)
+
+    def test_adversarial_lengths_shape(self):
+        universe = Universe(dims=3, order=8)
+        lengths = adversarial_lengths(universe, alpha=2, gamma=3)
+        assert lengths == (31, 31, 7)
+        region = adversarial_rectangle(universe, alpha=2, gamma=3)
+        assert region.aspect_ratio == 2
+
+    def test_adversarial_lengths_validation(self):
+        universe = Universe(dims=2, order=5)
+        with pytest.raises(ValueError):
+            adversarial_lengths(universe, alpha=0, gamma=0)
+        with pytest.raises(ValueError):
+            adversarial_lengths(universe, alpha=-1, gamma=2)
+        with pytest.raises(ValueError):
+            adversarial_lengths(universe, alpha=4, gamma=3)
+
+    @pytest.mark.parametrize("alpha,gamma", [(1, 3), (1, 4), (2, 3), (0, 4)])
+    def test_exhaustive_runs_respect_lower_bound_2d(self, alpha, gamma):
+        """Measured exhaustive run counts on the adversarial family meet Theorem 4.1."""
+        universe = Universe(dims=2, order=10)
+        curve = ZOrderCurve(universe)
+        region = adversarial_rectangle(universe, alpha, gamma)
+        profile = RunProfile.from_cubes(curve, greedy_decomposition(region))
+        bound = theorem41_lower_bound(2, alpha, min(region.lengths))
+        assert profile.num_runs >= bound
+
+    def test_exhaustive_cost_grows_with_side_but_approx_cost_does_not(self):
+        """The qualitative separation behind the paper's headline claim."""
+        universe = Universe(dims=2, order=12)
+        curve = ZOrderCurve(universe)
+        epsilon = 0.05
+        approx_costs = []
+        exhaustive_costs = []
+        for gamma in (4, 6, 8):
+            region = adversarial_rectangle(universe, alpha=1, gamma=gamma)
+            profile = RunProfile.from_cubes(curve, greedy_decomposition(region))
+            exhaustive_costs.append(profile.num_runs)
+            census = level_census(region)
+            target = (1 - epsilon) * region.volume
+            covered = 0
+            cubes = 0
+            for cls in census:
+                if covered >= target:
+                    break
+                cubes += cls.num_cubes
+                covered = cls.cumulative_volume
+            approx_costs.append(cubes)
+        assert exhaustive_costs[-1] > 4 * exhaustive_costs[0]
+        assert max(approx_costs) <= theorem31_run_bound(2, 1, epsilon)
+        assert max(approx_costs) < exhaustive_costs[-1]

@@ -1,0 +1,78 @@
+"""FIG2 reproduction test: the paper's two example point-dominance queries.
+
+Section 3.1 / Figure 2: in a 512×512 universe indexed by the Z curve,
+
+* the 256×256 extremal query region is exactly one run;
+* the 257×257 region needs 385 runs to cover exhaustively, yet a single run
+  covers more than 99% of it, and most of the small runs individually cover
+  only about 0.015% — which is why a 0.01-approximate query can stop after
+  the largest run.
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_dominance import ApproximateDominanceIndex
+from repro.core.decomposition import greedy_decomposition, level_census
+from repro.geometry.rect import ExtremalRectangle
+from repro.geometry.universe import Universe
+from repro.sfc.runs import RunProfile
+from repro.sfc.zorder import ZOrderCurve
+
+UNIVERSE = Universe(dims=2, order=9)
+CURVE = ZOrderCurve(UNIVERSE)
+
+
+class TestFigure2SmallQuery:
+    def test_256x256_is_a_single_run(self):
+        region = ExtremalRectangle(UNIVERSE, (256, 256))
+        profile = RunProfile.from_cubes(CURVE, greedy_decomposition(region))
+        assert profile.num_cubes == 1
+        assert profile.num_runs == 1
+        assert profile.largest_run_fraction == 1.0
+
+
+class TestFigure2LargeQuery:
+    def test_257x257_needs_385_runs(self):
+        """The exact number quoted in the paper."""
+        region = ExtremalRectangle(UNIVERSE, (257, 257))
+        profile = RunProfile.from_cubes(CURVE, greedy_decomposition(region))
+        assert profile.num_runs == 385
+
+    def test_largest_run_covers_more_than_99_percent(self):
+        region = ExtremalRectangle(UNIVERSE, (257, 257))
+        profile = RunProfile.from_cubes(CURVE, greedy_decomposition(region))
+        assert profile.largest_run_fraction > 0.99
+
+    def test_small_runs_cover_a_tiny_fraction_each(self):
+        """The paper: most of the other runs individually cover ~0.015% of the region."""
+        region = ExtremalRectangle(UNIVERSE, (257, 257))
+        profile = RunProfile.from_cubes(CURVE, greedy_decomposition(region))
+        # All runs except the largest are single cells or tiny strips.
+        for volume in profile.run_volumes[1:]:
+            assert volume / profile.total_volume < 0.0002
+
+    def test_census_structure(self):
+        """One 256-side cube plus 513 unit cells along the two exposed faces."""
+        region = ExtremalRectangle(UNIVERSE, (257, 257))
+        census = level_census(region)
+        assert [(c.cube_side, c.num_cubes) for c in census] == [(256, 1), (1, 513)]
+
+    def test_approximate_query_stops_after_the_large_run(self):
+        """A 0.01-approximate dominance query for the 257×257 region examines
+        only the single 256-cube: its volume already exceeds 99% of the region."""
+        index = ApproximateDominanceIndex(UNIVERSE, cube_budget=10_000)
+        query_point = (512 - 257, 512 - 257)
+        result = index.query(query_point, epsilon=0.01)
+        assert result.region_volume == 257 * 257
+        assert result.cubes_examined == 1
+        assert result.coverage > 0.99
+
+    def test_exhaustive_query_probes_every_cube_of_the_region(self):
+        """The exhaustive query visits all 514 cubes; with batched run-merging it
+        issues at least the 385 minimal runs and at most one probe per cube."""
+        index = ApproximateDominanceIndex(UNIVERSE, cube_budget=10_000)
+        query_point = (512 - 257, 512 - 257)
+        result = index.query(query_point, epsilon=0.0)
+        assert result.cubes_examined == 514
+        assert 385 <= result.runs_probed <= 514
+        assert result.searched_volume == 257 * 257

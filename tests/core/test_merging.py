@@ -1,0 +1,140 @@
+"""Tests for the subscription-merging extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merging import (
+    GreedyMerger,
+    bounding_ranges,
+    merge_precision,
+)
+from repro.geometry.transform import ranges_cover
+
+
+class TestBoundingRanges:
+    def test_basic(self):
+        assert bounding_ranges([[(0, 5), (10, 20)], [(3, 9), (0, 15)]]) == ((0, 9), (0, 20))
+
+    def test_single_subscription(self):
+        assert bounding_ranges([[(3, 7)]]) == ((3, 7),)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_ranges([])
+
+    def test_mismatched_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_ranges([[(0, 1)], [(0, 1), (2, 3)]])
+
+    def test_bounding_box_covers_every_member(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            group = []
+            for _ in range(rng.randint(1, 5)):
+                ranges = []
+                for _ in range(3):
+                    lo = rng.randint(0, 100)
+                    ranges.append((lo, lo + rng.randint(0, 40)))
+                group.append(tuple(ranges))
+            box = bounding_ranges(group)
+            for member in group:
+                assert ranges_cover(box, member)
+
+
+class TestMergePrecision:
+    def test_perfect_when_nested(self):
+        assert merge_precision([[(0, 9)], [(2, 5)]]) == 1.0
+
+    def test_adjacent_intervals_perfect(self):
+        assert merge_precision([[(0, 4)], [(5, 9)]]) == 1.0
+
+    def test_disjoint_far_apart_is_low(self):
+        assert merge_precision([[(0, 0)], [(99, 99)]]) == pytest.approx(2 / 100)
+
+    def test_capped_at_one(self):
+        # Heavily overlapping subscriptions would sum above the box volume.
+        assert merge_precision([[(0, 9)], [(0, 9)], [(0, 9)]]) == 1.0
+
+
+class TestGreedyMerger:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GreedyMerger(min_precision=0.0)
+        with pytest.raises(ValueError):
+            GreedyMerger(min_precision=1.5)
+        with pytest.raises(ValueError):
+            GreedyMerger(max_rounds=0)
+
+    def test_empty_input(self):
+        report = GreedyMerger().merge({})
+        assert report.merged_count == 0
+        assert report.reduction == 0.0
+
+    def test_covered_subscriptions_absorbed_losslessly(self):
+        merger = GreedyMerger(min_precision=1.0)
+        report = merger.merge(
+            {
+                "wide": [(0, 100), (0, 100)],
+                "narrow": [(10, 20), (10, 20)],
+                "other": [(200, 220), (200, 220)],
+            }
+        )
+        assert report.merged_count == 2
+        by_members = {frozenset(s.members) for s in report.summaries}
+        assert frozenset({"wide", "narrow"}) in by_members
+        # With min_precision=1.0 the summaries introduce no false-positive volume.
+        for summary in report.summaries:
+            assert summary.precision == 1.0
+
+    def test_lossy_merge_reduces_entries(self):
+        merger = GreedyMerger(min_precision=0.4)
+        subscriptions = {
+            f"s{i}": [(10 * i, 10 * i + 8)] for i in range(6)
+        }  # six adjacent-ish intervals
+        report = merger.merge(subscriptions)
+        assert report.merged_count < len(subscriptions)
+        assert report.reduction > 0
+        # Every original is covered by the summary that contains it.
+        for summary in report.summaries:
+            for member in summary.members:
+                assert ranges_cover(summary.ranges, tuple(subscriptions[member]))
+
+    def test_precision_threshold_blocks_bad_merges(self):
+        merger = GreedyMerger(min_precision=0.9)
+        report = merger.merge({"a": [(0, 1)], "b": [(1000, 1001)]})
+        assert report.merged_count == 2  # far-apart intervals are not merged
+
+    def test_summary_covering_lookup(self):
+        merger = GreedyMerger(min_precision=0.5)
+        report = merger.merge({"a": [(0, 50)], "b": [(40, 100)]})
+        summary = report.summary_covering([(10, 90)])
+        assert summary is not None
+        assert ranges_cover(summary.ranges, ((10, 90),))
+        assert report.summary_covering([(0, 5000)]) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_property_summaries_cover_members(self, data):
+        count = data.draw(st.integers(1, 12))
+        subscriptions = {}
+        for i in range(count):
+            ranges = []
+            for _ in range(2):
+                lo = data.draw(st.integers(0, 200))
+                ranges.append((lo, lo + data.draw(st.integers(0, 50))))
+            subscriptions[f"s{i}"] = tuple(ranges)
+        threshold = data.draw(st.sampled_from([0.3, 0.6, 1.0]))
+        report = GreedyMerger(min_precision=threshold).merge(subscriptions)
+        # Partition: every original appears in exactly one summary.
+        seen = [m for summary in report.summaries for m in summary.members]
+        assert sorted(seen) == sorted(subscriptions)
+        # Coverage: a summary covers each of its members (no lost events).
+        for summary in report.summaries:
+            for member in summary.members:
+                assert ranges_cover(summary.ranges, subscriptions[member])
+            assert summary.precision >= 0.0
+        assert 0 <= report.reduction < 1

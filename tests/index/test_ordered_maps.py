@@ -1,0 +1,220 @@
+"""Tests for the ordered-map structures backing the SFC array (skip list, AVL tree).
+
+Both structures implement the same contract, so most tests are parametrised
+over the two implementations and additionally cross-checked against a plain
+``dict`` + ``sorted`` model (a property-based "model test").
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.avl import AVLTree
+from repro.index.skiplist import SkipList
+
+
+def make_skiplist():
+    return SkipList(seed=7)
+
+
+def make_avl():
+    return AVLTree()
+
+
+MAKERS = [make_skiplist, make_avl]
+IDS = ["skiplist", "avl"]
+
+
+@pytest.mark.parametrize("make", MAKERS, ids=IDS)
+class TestOrderedMapBasics:
+    def test_empty(self, make):
+        m = make()
+        assert len(m) == 0
+        assert m.get(3) is None
+        assert m.get(3, "x") == "x"
+        assert 3 not in m
+        assert m.ceiling(0) is None
+        assert m.floor(100) is None
+        assert m.first_in_range(0, 100) is None
+        assert list(m.items()) == []
+
+    def test_insert_and_get(self, make):
+        m = make()
+        m.insert(5, "five")
+        m.insert(1, "one")
+        m.insert(9, "nine")
+        assert len(m) == 3
+        assert m.get(5) == "five"
+        assert m.get(1) == "one"
+        assert 9 in m
+        assert 2 not in m
+
+    def test_insert_replaces_value(self, make):
+        m = make()
+        m.insert(5, "a")
+        m.insert(5, "b")
+        assert len(m) == 1
+        assert m.get(5) == "b"
+
+    def test_delete(self, make):
+        m = make()
+        m.insert(5, "a")
+        m.insert(7, "b")
+        assert m.delete(5)
+        assert not m.delete(5)
+        assert len(m) == 1
+        assert m.get(5) is None
+        assert m.get(7) == "b"
+
+    def test_items_sorted(self, make):
+        m = make()
+        for k in [9, 3, 7, 1, 5]:
+            m.insert(k, str(k))
+        assert [k for k, _ in m.items()] == [1, 3, 5, 7, 9]
+        assert list(m) == [1, 3, 5, 7, 9]
+
+    def test_ceiling_floor(self, make):
+        m = make()
+        for k in [10, 20, 30]:
+            m.insert(k, k)
+        assert m.ceiling(15) == (20, 20)
+        assert m.ceiling(20) == (20, 20)
+        assert m.ceiling(31) is None
+        assert m.floor(15) == (10, 10)
+        assert m.floor(10) == (10, 10)
+        assert m.floor(5) is None
+
+    def test_first_in_range(self, make):
+        m = make()
+        for k in [10, 20, 30]:
+            m.insert(k, k)
+        assert m.first_in_range(0, 9) is None
+        assert m.first_in_range(0, 10) == (10, 10)
+        assert m.first_in_range(11, 19) is None
+        assert m.first_in_range(15, 100) == (20, 20)
+        assert m.first_in_range(31, 100) is None
+
+    def test_items_in_range(self, make):
+        m = make()
+        for k in range(0, 50, 5):
+            m.insert(k, k)
+        assert [k for k, _ in m.items_in_range(12, 31)] == [15, 20, 25, 30]
+        assert [k for k, _ in m.items_in_range(16, 17)] == []
+        assert [k for k, _ in m.items_in_range(0, 100)] == list(range(0, 50, 5))
+
+    def test_large_random_model_check(self, make):
+        m = make()
+        model: dict[int, int] = {}
+        rng = random.Random(99)
+        for step in range(2000):
+            op = rng.random()
+            key = rng.randint(0, 300)
+            if op < 0.6:
+                m.insert(key, step)
+                model[key] = step
+            else:
+                assert m.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(m) == len(model)
+        assert [k for k, _ in m.items()] == sorted(model)
+        for key, value in model.items():
+            assert m.get(key) == value
+        lo, hi = 50, 200
+        expected = sorted(k for k in model if lo <= k <= hi)
+        assert [k for k, _ in m.items_in_range(lo, hi)] == expected
+
+
+@pytest.mark.parametrize("make", MAKERS, ids=IDS)
+class TestOrderedMapProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 63)),
+            max_size=100,
+        ),
+        probe=st.integers(0, 63),
+    )
+    def test_ceiling_floor_consistency(self, make, ops, probe):
+        m = make()
+        model: set[int] = set()
+        for op, key in ops:
+            if op == "insert":
+                m.insert(key, key)
+                model.add(key)
+            else:
+                m.delete(key)
+                model.discard(key)
+        expected_ceiling = min((k for k in model if k >= probe), default=None)
+        expected_floor = max((k for k in model if k <= probe), default=None)
+        got_ceiling = m.ceiling(probe)
+        got_floor = m.floor(probe)
+        assert (got_ceiling[0] if got_ceiling else None) == expected_ceiling
+        assert (got_floor[0] if got_floor else None) == expected_floor
+
+
+class TestAVLSpecifics:
+    def test_invariants_after_random_operations(self):
+        tree: AVLTree[int, int] = AVLTree()
+        rng = random.Random(5)
+        present = set()
+        for step in range(1500):
+            key = rng.randint(0, 400)
+            if rng.random() < 0.65:
+                tree.insert(key, step)
+                present.add(key)
+            else:
+                tree.delete(key)
+                present.discard(key)
+            if step % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == len(present)
+
+    def test_rank_and_select(self):
+        tree: AVLTree[int, str] = AVLTree()
+        keys = [10, 4, 8, 20, 1, 15]
+        for k in keys:
+            tree.insert(k, str(k))
+        ordered = sorted(keys)
+        for i, k in enumerate(ordered):
+            assert tree.rank(k) == i
+            assert tree.select(i) == (k, str(k))
+        assert tree.rank(0) == 0
+        assert tree.rank(100) == len(keys)
+
+    def test_select_out_of_range(self):
+        tree: AVLTree[int, str] = AVLTree()
+        tree.insert(1, "a")
+        with pytest.raises(IndexError):
+            tree.select(1)
+        with pytest.raises(IndexError):
+            tree.select(-1)
+
+    def test_count_in_range(self):
+        tree: AVLTree[int, int] = AVLTree()
+        for k in range(0, 100, 10):
+            tree.insert(k, k)
+        assert tree.count_in_range(0, 100) == 10
+        assert tree.count_in_range(5, 35) == 3
+        assert tree.count_in_range(30, 30) == 1
+        assert tree.count_in_range(31, 39) == 0
+        assert tree.count_in_range(50, 40) == 0
+
+
+class TestSkipListSpecifics:
+    def test_deterministic_with_seed(self):
+        a = SkipList(seed=3)
+        b = SkipList(seed=3)
+        for k in range(100):
+            a.insert(k, k)
+            b.insert(k, k)
+        assert list(a.items()) == list(b.items())
+
+    def test_keys_iteration(self):
+        sl = SkipList()
+        for k in [3, 1, 2]:
+            sl.insert(k, k * 10)
+        assert list(sl.keys()) == [1, 2, 3]

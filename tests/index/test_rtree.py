@@ -1,0 +1,153 @@
+"""Tests for the R-tree rectangle-enclosure baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.rtree import RTree
+
+
+def random_box(rng, dims, max_value, max_width=None):
+    box = []
+    for _ in range(dims):
+        lo = rng.randint(0, max_value)
+        width = rng.randint(0, max_width if max_width is not None else max_value - lo)
+        box.append((lo, min(max_value, lo + width)))
+    return tuple(box)
+
+
+def brute_force_enclosing(entries, box):
+    return [
+        item_id
+        for item_id, stored in entries
+        if all(slo <= lo and hi <= shi for (slo, shi), (lo, hi) in zip(stored, box))
+    ]
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(dims=0)
+        with pytest.raises(ValueError):
+            RTree(dims=2, max_entries=2)
+
+    def test_empty_tree(self):
+        tree = RTree(dims=2)
+        assert len(tree) == 0
+        assert tree.find_enclosing([(0, 1), (0, 1)]) is None
+        assert tree.all_enclosing([(0, 1), (0, 1)]) == []
+
+    def test_box_validation(self):
+        tree = RTree(dims=2)
+        with pytest.raises(ValueError):
+            tree.insert("a", [(0, 1)])
+        with pytest.raises(ValueError):
+            tree.insert("a", [(3, 1), (0, 1)])
+
+
+class TestInsertAndQuery:
+    def test_simple_enclosure(self):
+        tree = RTree(dims=2)
+        tree.insert("wide", [(0, 100), (0, 100)])
+        tree.insert("narrow", [(40, 60), (40, 60)])
+        assert tree.find_enclosing([(45, 55), (45, 55)]) in ("wide", "narrow")
+        assert set(tree.all_enclosing([(45, 55), (45, 55)])) == {"wide", "narrow"}
+        assert tree.find_enclosing([(0, 100), (0, 101)]) is None
+
+    def test_matches_brute_force_on_random_workload(self):
+        rng = random.Random(3)
+        tree = RTree(dims=3, max_entries=6)
+        entries = []
+        for i in range(400):
+            box = random_box(rng, 3, 255)
+            entries.append((i, box))
+            tree.insert(i, box)
+        tree.check_invariants()
+        for _ in range(100):
+            query = random_box(rng, 3, 255, max_width=60)
+            expected = set(brute_force_enclosing(entries, query))
+            found = tree.find_enclosing(query)
+            assert set(tree.all_enclosing(query)) == expected
+            if expected:
+                assert found in expected
+            else:
+                assert found is None
+
+    def test_duplicate_boxes_allowed(self):
+        tree = RTree(dims=1)
+        tree.insert("a", [(0, 10)])
+        tree.insert("b", [(0, 10)])
+        assert set(tree.all_enclosing([(2, 5)])) == {"a", "b"}
+        assert len(tree) == 2
+
+
+class TestDelete:
+    def test_delete_removes_entry(self):
+        tree = RTree(dims=2)
+        tree.insert("a", [(0, 50), (0, 50)])
+        tree.insert("b", [(0, 100), (0, 100)])
+        assert tree.delete("a", [(0, 50), (0, 50)])
+        assert not tree.delete("a", [(0, 50), (0, 50)])
+        assert len(tree) == 1
+        assert tree.all_enclosing([(10, 20), (10, 20)]) == ["b"]
+
+    def test_delete_wrong_box_fails(self):
+        tree = RTree(dims=1)
+        tree.insert("a", [(0, 10)])
+        assert not tree.delete("a", [(0, 11)])
+        assert len(tree) == 1
+
+    def test_mass_delete_keeps_answers_consistent(self):
+        rng = random.Random(11)
+        tree = RTree(dims=2, max_entries=5)
+        entries = []
+        for i in range(200):
+            box = random_box(rng, 2, 127)
+            entries.append((i, box))
+            tree.insert(i, box)
+        # Delete half of them.
+        for i in range(0, 200, 2):
+            assert tree.delete(i, entries[i][1])
+        tree.check_invariants()
+        remaining = [e for e in entries if e[0] % 2 == 1]
+        assert len(tree) == len(remaining)
+        for _ in range(50):
+            query = random_box(rng, 2, 127, max_width=40)
+            assert set(tree.all_enclosing(query)) == set(brute_force_enclosing(remaining, query))
+
+
+class TestInvariantsProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        boxes=st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 60), st.integers(0, 15)),
+                st.tuples(st.integers(0, 60), st.integers(0, 15)),
+            ).map(
+                lambda t: ((t[0][0], t[0][0] + t[0][1]), (t[1][0], t[1][0] + t[1][1]))
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        query=st.tuples(
+            st.tuples(st.integers(0, 60), st.integers(0, 10)),
+            st.tuples(st.integers(0, 60), st.integers(0, 10)),
+        ).map(lambda t: ((t[0][0], t[0][0] + t[0][1]), (t[1][0], t[1][0] + t[1][1]))),
+    )
+    def test_structure_and_answers(self, boxes, query):
+        tree = RTree(dims=2, max_entries=4)
+        entries = []
+        for i, box in enumerate(boxes):
+            tree.insert(i, box)
+            entries.append((i, box))
+        tree.check_invariants()
+        expected = set(brute_force_enclosing(entries, query))
+        assert set(tree.all_enclosing(query)) == expected
+        found = tree.find_enclosing(query)
+        if expected:
+            assert found in expected
+        else:
+            assert found is None

@@ -1,0 +1,269 @@
+"""Tests for brokers, the overlay network, propagation and event delivery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pubsub.broker import Broker
+from repro.pubsub.client import Publisher, Subscriber
+from repro.pubsub.network import (
+    BrokerNetwork,
+    chain_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.pubsub.schema import Attribute, AttributeSchema
+from repro.pubsub.subscription import Event, Subscription
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema(
+        [Attribute("x", 0.0, 100.0), Attribute("y", 0.0, 100.0)], order=8
+    )
+
+
+def make_network(schema, covering="exact", num_brokers=5, epsilon=0.1):
+    return BrokerNetwork.from_topology(
+        schema, chain_topology(num_brokers), covering=covering, epsilon=epsilon, seed=1
+    )
+
+
+class TestTopologyHelpers:
+    def test_tree(self):
+        edges = tree_topology(7, branching=2)
+        assert len(edges) == 6
+        assert (0, 1) in edges and (0, 2) in edges
+
+    def test_chain(self):
+        assert chain_topology(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_star(self):
+        assert star_topology(4) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_tree_requires_positive(self):
+        with pytest.raises(ValueError):
+            tree_topology(0)
+
+
+class TestNetworkConstruction:
+    def test_from_topology(self, schema):
+        network = make_network(schema)
+        assert len(network.brokers) == 5
+        assert sorted(network.brokers[1].neighbors) == [0, 2]
+
+    def test_duplicate_broker_rejected(self, schema):
+        network = BrokerNetwork(schema)
+        network.add_broker("a")
+        with pytest.raises(ValueError):
+            network.add_broker("a")
+
+    def test_cycle_rejected(self, schema):
+        network = BrokerNetwork(schema)
+        for name in "abc":
+            network.add_broker(name)
+        network.connect("a", "b")
+        network.connect("b", "c")
+        with pytest.raises(ValueError):
+            network.connect("c", "a")
+
+    def test_connect_unknown_broker_rejected(self, schema):
+        network = BrokerNetwork(schema)
+        network.add_broker("a")
+        with pytest.raises(ValueError):
+            network.connect("a", "missing")
+
+    def test_connect_idempotent(self, schema):
+        network = BrokerNetwork(schema)
+        network.add_broker("a")
+        network.add_broker("b")
+        network.connect("a", "b")
+        network.connect("a", "b")
+        assert network.brokers["a"].neighbors == ["b"]
+
+    def test_empty_topology_rejected(self, schema):
+        with pytest.raises(ValueError):
+            BrokerNetwork.from_topology(schema, [])
+
+
+class TestBrokerWithoutTransport:
+    def test_subscription_without_transport_raises(self, schema):
+        broker = Broker("lonely", schema, covering="none")
+        broker.connect("ghost")
+        with pytest.raises(RuntimeError):
+            broker.receive_subscription("__local__", Subscription(schema, {}))
+
+    def test_event_without_transport_raises(self, schema):
+        broker = Broker("lonely", schema, covering="none")
+        broker.connect("ghost")
+        broker.routing_table.table("ghost").add(Subscription(schema, {}, sub_id="s"))
+        with pytest.raises(RuntimeError):
+            broker.receive_event("__local__", Event(schema, {"x": 1.0, "y": 1.0}))
+
+
+class TestSubscriptionPropagation:
+    def test_subscription_reaches_all_brokers_without_covering(self, schema):
+        network = make_network(schema, covering="none")
+        sub = Subscription(schema, {"x": (0.0, 50.0)}, sub_id="s")
+        network.subscribe(0, "client", sub)
+        # Every broker except the origin stores the subscription from its upstream neighbour.
+        assert network.subscription_messages == 4
+        for broker_id in range(1, 5):
+            assert network.brokers[broker_id].routing_table_size() >= 1
+
+    def test_covered_subscription_not_forwarded(self, schema):
+        network = make_network(schema, covering="exact")
+        wide = Subscription(schema, {"x": (0.0, 90.0)}, sub_id="wide")
+        narrow = Subscription(schema, {"x": (10.0, 20.0)}, sub_id="narrow")
+        network.subscribe(0, "c1", wide)
+        messages_after_wide = network.subscription_messages
+        network.subscribe(0, "c2", narrow)
+        # The narrow subscription is covered by the wide one on every link out of broker 0.
+        assert network.subscription_messages == messages_after_wide
+        assert not network.brokers[0].has_forwarded(1, "narrow")
+        assert network.brokers[0].stats.subscriptions_suppressed >= 1
+
+    def test_uncovered_subscription_is_forwarded(self, schema):
+        network = make_network(schema, covering="exact")
+        network.subscribe(0, "c1", Subscription(schema, {"x": (10.0, 20.0)}, sub_id="narrow"))
+        before = network.subscription_messages
+        network.subscribe(0, "c2", Subscription(schema, {"x": (0.0, 90.0)}, sub_id="wide"))
+        assert network.subscription_messages > before
+        assert network.brokers[0].has_forwarded(1, "wide")
+
+    def test_decision_log_records_choices(self, schema):
+        network = make_network(schema, covering="exact", num_brokers=2)
+        network.subscribe(0, "c1", Subscription(schema, {"x": (0.0, 90.0)}, sub_id="wide"))
+        network.subscribe(0, "c2", Subscription(schema, {"x": (1.0, 2.0)}, sub_id="narrow"))
+        log = network.brokers[0].decision_log
+        assert any(d.forwarded and d.subscription_id == "wide" for d in log)
+        assert any(not d.forwarded and d.covered_by == "wide" for d in log)
+
+    def test_routing_table_entries_shrink_with_covering(self, schema):
+        rng = random.Random(3)
+        subs = []
+        for i in range(40):
+            lo = rng.uniform(0, 50)
+            hi = lo + rng.uniform(5, 50)
+            subs.append(Subscription(schema, {"x": (lo, min(hi, 100.0))}, sub_id=f"s{i}"))
+        sizes = {}
+        for covering in ("none", "exact", "approximate"):
+            network = BrokerNetwork.from_topology(
+                schema, tree_topology(5), covering=covering, epsilon=0.1, cube_budget=50_000
+            )
+            for i, sub in enumerate(subs):
+                fresh = Subscription(schema, sub.constraints, sub_id=sub.sub_id)
+                network.subscribe(i % 5, f"client-{i}", fresh)
+            sizes[covering] = network.routing_table_entries()
+        assert sizes["exact"] <= sizes["none"]
+        assert sizes["approximate"] <= sizes["none"]
+        # Approximate covering is sound, so it can only miss suppressions, never
+        # suppress more than exact covering does.
+        assert sizes["approximate"] >= sizes["exact"]
+
+
+class TestEventDelivery:
+    @pytest.mark.parametrize("covering", ["none", "exact", "approximate"])
+    def test_matching_subscriber_receives_event(self, schema, covering):
+        network = make_network(schema, covering=covering)
+        sub = Subscription(schema, {"x": (0.0, 50.0)}, sub_id="s")
+        network.subscribe(4, "alice", sub)
+        event = Event(schema, {"x": 25.0, "y": 60.0}, event_id="e1")
+        delivered = network.publish(0, event)
+        assert "alice" in delivered
+
+    def test_non_matching_subscriber_does_not_receive(self, schema):
+        network = make_network(schema)
+        network.subscribe(4, "alice", Subscription(schema, {"x": (0.0, 10.0)}, sub_id="s"))
+        delivered = network.publish(0, Event(schema, {"x": 80.0, "y": 60.0}))
+        assert delivered == set()
+
+    def test_local_delivery_without_forwarding(self, schema):
+        network = make_network(schema)
+        network.subscribe(2, "bob", Subscription(schema, {}, sub_id="all"))
+        delivered = network.publish(2, Event(schema, {"x": 1.0, "y": 1.0}))
+        assert delivered == {"bob"}
+
+    def test_event_not_flooded_to_uninterested_brokers(self, schema):
+        network = make_network(schema, covering="none")
+        network.subscribe(1, "alice", Subscription(schema, {"x": (0.0, 10.0)}, sub_id="s"))
+        network.publish(0, Event(schema, {"x": 90.0, "y": 50.0}))
+        # Broker 3 and 4 should never see the event: no matching subscription upstream.
+        assert network.brokers[3].stats.events_received == 0
+        assert network.brokers[4].stats.events_received == 0
+
+    def test_delivery_audit_no_misses_for_sound_strategies(self, schema):
+        rng = random.Random(7)
+        for covering in ("none", "exact", "approximate"):
+            network = BrokerNetwork.from_topology(
+                schema, tree_topology(7), covering=covering, epsilon=0.2, cube_budget=20_000
+            )
+            for i in range(30):
+                lo_x, lo_y = rng.uniform(0, 60), rng.uniform(0, 60)
+                sub = Subscription(
+                    schema,
+                    {"x": (lo_x, lo_x + rng.uniform(5, 40)), "y": (lo_y, lo_y + rng.uniform(5, 40))},
+                    sub_id=f"{covering}-s{i}",
+                )
+                network.subscribe(rng.randrange(7), f"client-{i}", sub)
+            for _ in range(20):
+                event = Event(schema, {"x": rng.uniform(0, 100), "y": rng.uniform(0, 100)})
+                missed, extra = network.publish_and_audit(rng.randrange(7), event)
+                assert missed == set(), f"covering={covering} lost an event"
+                assert extra == set()
+
+    def test_expected_recipients(self, schema):
+        network = make_network(schema)
+        network.subscribe(0, "alice", Subscription(schema, {"x": (0.0, 50.0)}, sub_id="a"))
+        network.subscribe(3, "bob", Subscription(schema, {"x": (40.0, 100.0)}, sub_id="b"))
+        event = Event(schema, {"x": 45.0, "y": 0.0})
+        assert network.expected_recipients(event) == {"alice", "bob"}
+
+    def test_collect_stats_aggregates(self, schema):
+        network = make_network(schema)
+        network.subscribe(0, "alice", Subscription(schema, {"x": (0.0, 50.0)}, sub_id="a"))
+        events = [(2, Event(schema, {"x": 25.0, "y": 1.0})), (4, Event(schema, {"x": 99.0, "y": 1.0}))]
+        stats = network.collect_stats(events)
+        assert stats.routing_table_entries >= 1
+        assert stats.events_delivered == 1
+        assert stats.events_missed == 0
+        assert len(stats.summary_rows()) == 5
+        assert stats.total_covering_checks >= 0
+
+    def test_publish_unknown_broker_rejected(self, schema):
+        network = make_network(schema)
+        with pytest.raises(ValueError):
+            network.publish("nope", Event(schema, {"x": 1.0, "y": 1.0}))
+        with pytest.raises(ValueError):
+            network.subscribe("nope", "c", Subscription(schema, {}))
+
+
+class TestClients:
+    def test_subscriber_and_publisher_flow(self, schema):
+        network = make_network(schema)
+        alice = Subscriber(network, broker_id=4, client_id="alice")
+        alice.subscribe({"x": (0.0, 50.0)})
+        publisher = Publisher(network, broker_id=0)
+        event = publisher.publish({"x": 10.0, "y": 10.0}, event_id="e-1")
+        assert alice.received_events() == ["e-1"]
+        assert alice.would_match(event)
+        assert publisher.published == [event]
+
+    def test_subscriber_multiple_subscriptions_single_delivery(self, schema):
+        network = make_network(schema)
+        alice = Subscriber(network, broker_id=2, client_id="alice")
+        alice.subscribe({"x": (0.0, 50.0)})
+        alice.subscribe({"y": (0.0, 50.0)})
+        publisher = Publisher(network, broker_id=0)
+        publisher.publish({"x": 10.0, "y": 10.0}, event_id="both")
+        # The event matches both subscriptions but is delivered once.
+        assert alice.received_events() == ["both"]
+
+    def test_publisher_event_ids_auto_assigned(self, schema):
+        network = make_network(schema)
+        publisher = Publisher(network, broker_id=0)
+        e1 = publisher.publish({"x": 1.0, "y": 1.0})
+        e2 = publisher.publish({"x": 2.0, "y": 2.0})
+        assert e1.event_id != e2.event_id

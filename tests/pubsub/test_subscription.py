@@ -1,0 +1,122 @@
+"""Tests for subscriptions, events and matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub.schema import Attribute, AttributeSchema
+from repro.pubsub.subscription import Event, Subscription, make_event, make_subscription
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema(
+        [
+            Attribute("stock", 0.0, 100.0),
+            Attribute("volume", 0.0, 10_000.0),
+            Attribute("current", 0.0, 200.0),
+        ],
+        order=10,
+    )
+
+
+class TestEvent:
+    def test_construction_and_cells(self, schema):
+        event = Event(schema, {"stock": 10.0, "volume": 1000.0, "current": 88.0})
+        assert len(event.cells) == 3
+        assert event.value("current") == 88.0
+
+    def test_missing_attribute_rejected(self, schema):
+        with pytest.raises(ValueError):
+            Event(schema, {"stock": 10.0})
+
+    def test_auto_ids_are_unique(self, schema):
+        e1 = Event(schema, {"stock": 1.0, "volume": 1.0, "current": 1.0})
+        e2 = Event(schema, {"stock": 1.0, "volume": 1.0, "current": 1.0})
+        assert e1.event_id != e2.event_id
+
+    def test_make_event_helper(self, schema):
+        event = make_event(schema, event_id="e1", stock=5.0, volume=10.0, current=20.0)
+        assert event.event_id == "e1"
+
+
+class TestSubscriptionMatching:
+    def test_paper_motivating_example(self, schema):
+        """[stock=IBM-ish, volume>500, current<95] matches [volume=1000, current=88]."""
+        subscription = Subscription(
+            schema, {"volume": (500.0, 10_000.0), "current": (0.0, 95.0)}
+        )
+        event = Event(schema, {"stock": 42.0, "volume": 1000.0, "current": 88.0})
+        assert subscription.matches(event)
+        non_matching = Event(schema, {"stock": 42.0, "volume": 100.0, "current": 88.0})
+        assert not subscription.matches(non_matching)
+
+    def test_unconstrained_attributes_match_anything(self, schema):
+        subscription = Subscription(schema, {})
+        event = Event(schema, {"stock": 99.0, "volume": 0.0, "current": 200.0})
+        assert subscription.matches(event)
+
+    def test_boundary_values_match(self, schema):
+        subscription = Subscription(schema, {"current": (50.0, 95.0)})
+        assert subscription.matches(Event(schema, {"stock": 0, "volume": 0, "current": 50.0}))
+        assert subscription.matches(Event(schema, {"stock": 0, "volume": 0, "current": 95.0}))
+
+    def test_auto_ids_unique(self, schema):
+        s1 = Subscription(schema, {})
+        s2 = Subscription(schema, {})
+        assert s1.sub_id != s2.sub_id
+
+    def test_make_subscription_helper(self, schema):
+        sub = make_subscription(schema, sub_id="s1", current=(0.0, 95.0))
+        assert sub.sub_id == "s1"
+        assert sub.constraints["current"] == (0.0, 95.0)
+
+
+class TestSubscriptionCovering:
+    def test_wider_covers_narrower(self, schema):
+        wide = Subscription(schema, {"current": (0.0, 95.0)})
+        narrow = Subscription(schema, {"current": (10.0, 90.0), "volume": (500.0, 1000.0)})
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+
+    def test_covering_is_reflexive(self, schema):
+        sub = Subscription(schema, {"stock": (10.0, 20.0)})
+        assert sub.covers(sub)
+
+    def test_covering_implies_matching_containment(self, schema):
+        """If s1 covers s2, every event matching s2 matches s1 (spot-checked)."""
+        s1 = Subscription(schema, {"stock": (10.0, 60.0), "volume": (0.0, 5000.0)})
+        s2 = Subscription(schema, {"stock": (20.0, 50.0), "volume": (100.0, 4000.0)})
+        assert s1.covers(s2)
+        for stock in (20.0, 35.0, 50.0):
+            for volume in (100.0, 2000.0, 4000.0):
+                event = Event(schema, {"stock": stock, "volume": volume, "current": 10.0})
+                if s2.matches(event):
+                    assert s1.matches(event)
+
+    def test_selectivity(self, schema):
+        everything = Subscription(schema, {})
+        assert everything.selectivity == pytest.approx(1.0)
+        half = Subscription(schema, {"stock": (0.0, 50.0)})
+        assert 0.4 < half.selectivity < 0.6
+
+    def test_widened_copy_covers_original(self, schema):
+        original = Subscription(schema, {"stock": (40.0, 60.0), "current": (80.0, 120.0)})
+        widened = original.widened(1.5)
+        assert widened.covers(original)
+        assert widened.sub_id != original.sub_id
+
+    def test_widened_factor_validation(self, schema):
+        sub = Subscription(schema, {"stock": (40.0, 60.0)})
+        with pytest.raises(ValueError):
+            sub.widened(0.5)
+
+    def test_schema_mismatch_rejected(self, schema):
+        other_schema = AttributeSchema([Attribute("x", 0.0, 1.0)], order=4)
+        sub = Subscription(schema, {})
+        other_sub = Subscription(other_schema, {})
+        other_event = Event(other_schema, {"x": 0.5})
+        with pytest.raises(ValueError):
+            sub.matches(other_event)
+        with pytest.raises(ValueError):
+            sub.covers(other_sub)
