@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 test suite plus a tiny-size smoke pass of the pub/sub benchmarks so
+# the benchmark drivers cannot silently rot between full benchmark runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+echo "== benchmark smoke (tiny sizes) =="
+REPRO_BENCH_SMOKE=1 python -m pytest -q \
+    benchmarks/bench_pubsub_propagation.py \
+    benchmarks/bench_event_matching.py
+
+echo "ci.sh: all checks passed"

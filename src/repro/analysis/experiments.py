@@ -54,6 +54,7 @@ __all__ = [
     "run_approx_vs_exhaustive_experiment",
     "run_recall_experiment",
     "run_pubsub_experiment",
+    "run_event_matching_experiment",
     "run_dimensionality_experiment",
     "run_throughput_experiment",
 ]
@@ -447,12 +448,16 @@ def run_pubsub_experiment(
     strategies: Sequence[str] = ("none", "exact", "approximate"),
     seed: int = 9,
     cube_budget: int = 4_000,
+    matching: str = "linear",
 ) -> ResultTable:
     """E-PUBSUB: routing-table size and propagation traffic per covering strategy.
 
     The workload mixes narrow subscriptions with a share of broad ones (the
     regime covering is designed for); the per-check work of the approximate
     strategy is bounded by ``cube_budget`` like a real router would bound it.
+    ``matching`` selects the event-matching implementation of every broker
+    (``"linear"`` scan or the ``"sfc"`` match index); the delivery audit runs
+    identically under both.
     """
     import random as _random
 
@@ -483,6 +488,7 @@ def run_pubsub_experiment(
             epsilon=epsilon,
             seed=seed,
             cube_budget=cube_budget,
+            matching=matching,
         )
         start = time.perf_counter()
         for spec, broker_id in zip(specs, placements):
@@ -514,12 +520,114 @@ def run_pubsub_experiment(
         covering_work = sum(b.covering_check_runs for b in stats.per_broker.values())
         table.add(
             strategy=strategy if strategy != "approximate" else f"approximate(ε={epsilon})",
+            matching=matching,
             routing_table_entries=stats.routing_table_entries,
             subscription_messages=stats.subscription_messages,
             suppressed=stats.total_suppressed,
             covering_work_units=covering_work,
             propagation_seconds=round(propagation_time, 4),
             events_missed=stats.events_missed,
+        )
+    return table
+
+
+# --------------------------------------------------------------------- event matching
+def run_event_matching_experiment(
+    table_sizes: Sequence[int] = (100, 1_000),
+    num_events: int = 400,
+    order: int = 8,
+    seed: int = 17,
+    backend: str = "avl",
+    run_budget: int = 64,
+) -> ResultTable:
+    """E-MATCH: per-interface event matching, linear scan vs the SFC match index.
+
+    Builds one interface table per matching mode with the same stored
+    subscriptions (mostly narrow, a few broad — the per-interface shape a
+    loaded broker sees), verifies the two modes agree on every event, then
+    times ``any_match`` over the event stream.  The crossover the tentpole
+    targets: at ≥ 1,000 stored subscriptions the single ordered-map probe of
+    the index beats scanning the table, and the gap widens with table size.
+    """
+    from ..pubsub.routing_table import InterfaceTable
+
+    table = ResultTable("E-MATCH: event matching, linear scan vs SFC match index")
+    schema = _default_schema(order)
+    events_workload = EventWorkload(attributes=2, attribute_order=order, seed=seed + 1)
+    events = [
+        Event(
+            schema,
+            {
+                name: schema.dequantize_value(name, cell)
+                for name, cell in zip(schema.names, cells)
+            },
+        )
+        for cells in events_workload.generate(num_events)
+    ]
+
+    for size in table_sizes:
+        specs = _mixed_width_workload(
+            attributes=2,
+            order=order,
+            count=size,
+            narrow_fraction=0.95,
+            narrow_width=0.05,
+            wide_width=0.3,
+            seed=seed,
+            prefix=f"match-{size}",
+        )
+        linear = InterfaceTable("bench", schema=schema, matching="linear")
+        sfc = InterfaceTable(
+            "bench", schema=schema, matching="sfc", backend=backend, run_budget=run_budget
+        )
+        subscriptions = []
+        for spec in specs:
+            constraints = {
+                name: (
+                    schema.dequantize_value(name, lo),
+                    schema.dequantize_value(name, hi),
+                )
+                for name, (lo, hi) in zip(schema.names, spec.ranges)
+            }
+            subscriptions.append(Subscription(schema, constraints, sub_id=spec.sub_id))
+        for subscription in subscriptions:
+            linear.add(subscription)
+        build_start = time.perf_counter()
+        for subscription in subscriptions:
+            sfc.add(subscription)
+        build_seconds = time.perf_counter() - build_start
+
+        disagreements = sum(
+            1 for event in events if linear.any_match(event) != sfc.any_match(event)
+        )
+        if disagreements:
+            raise AssertionError(
+                f"SFC match index disagrees with linear scan on {disagreements} events"
+            )
+
+        start = time.perf_counter()
+        for event in events:
+            linear.any_match(event)
+        linear_seconds = time.perf_counter() - start
+        index = sfc.match_index
+        assert index is not None
+        index.stats.candidates_checked = 0
+        index.stats.false_positives = 0
+        start = time.perf_counter()
+        for event in events:
+            sfc.any_match(event)
+        sfc_seconds = time.perf_counter() - start
+
+        table.add(
+            subscriptions=size,
+            events=num_events,
+            linear_seconds=round(linear_seconds, 5),
+            sfc_seconds=round(sfc_seconds, 5),
+            speedup=round(linear_seconds / sfc_seconds, 2) if sfc_seconds else float("inf"),
+            sfc_build_seconds=round(build_seconds, 4),
+            segments=index.segment_count(),
+            candidates_checked=index.stats.candidates_checked,
+            false_positives=index.stats.false_positives,
         )
     return table
 

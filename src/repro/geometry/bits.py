@@ -32,6 +32,7 @@ __all__ = [
     "suffix_from",
     "interleave_bits",
     "deinterleave_bits",
+    "spread_bits",
     "is_power_of_two",
     "floor_log2",
     "ceil_log2",
@@ -216,6 +217,30 @@ def deinterleave_bits(key: int, dims: int, bits: int) -> Tuple[int, ...]:
             coords[dim] |= (key & 1) << level
             key >>= 1
     return tuple(coords)
+
+
+def spread_bits(value: int, dims: int, shift: int) -> int:
+    """Move bit ``j`` of ``value`` to position ``j * dims + shift`` (Morton spreading).
+
+    This is the per-coordinate half of :func:`interleave_bits`: OR-ing the
+    spread forms of all coordinates of a point — dimension ``i`` contributing
+    with ``shift = dims − 1 − i``, matching the "dimension 1 first" key
+    convention — reproduces the interleaved key.  Exposed separately so batch
+    key construction can cache spread coordinate values.
+
+    >>> spread_bits(0b011, 2, 0) | spread_bits(0b010, 2, 1)
+    13
+    """
+    if value < 0:
+        raise ValueError(f"spread_bits requires a non-negative integer, got {value}")
+    result = 0
+    j = 0
+    while value:
+        if value & 1:
+            result |= 1 << (j * dims + shift)
+        value >>= 1
+        j += 1
+    return result
 
 
 def gray_encode(x: int) -> int:

@@ -9,7 +9,10 @@ from .network import (
     star_topology,
     tree_topology,
 )
+from .match_index import DEFAULT_RUN_BUDGET, MatchIndex, MatchIndexStats
 from .routing_table import (
+    DEFAULT_CUBE_BUDGET,
+    MATCHING_KINDS,
     ApproximateCoveringStrategy,
     CoveringStrategy,
     ExactCoveringStrategy,
@@ -34,6 +37,11 @@ __all__ = [
     "chain_topology",
     "star_topology",
     "tree_topology",
+    "DEFAULT_CUBE_BUDGET",
+    "DEFAULT_RUN_BUDGET",
+    "MATCHING_KINDS",
+    "MatchIndex",
+    "MatchIndexStats",
     "ApproximateCoveringStrategy",
     "CoveringStrategy",
     "ExactCoveringStrategy",

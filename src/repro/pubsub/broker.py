@@ -26,9 +26,15 @@ drives it by calling :meth:`receive_subscription` and :meth:`receive_event`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
-from .routing_table import CoveringStrategy, RoutingTable, make_covering_strategy
+from .match_index import DEFAULT_RUN_BUDGET
+from .routing_table import (
+    DEFAULT_CUBE_BUDGET,
+    CoveringStrategy,
+    RoutingTable,
+    make_covering_strategy,
+)
 from .schema import AttributeSchema
 from .stats import BrokerStats
 from .subscription import Event, Subscription
@@ -65,7 +71,13 @@ class Broker:
     epsilon:
         Approximation parameter for the ``"approximate"`` strategy.
     backend:
-        SFC-array backend for the approximate strategy.
+        Ordered-map backend for the approximate strategy and the match index.
+    matching:
+        Event-matching implementation per interface table: ``"linear"`` scans
+        stored subscriptions, ``"sfc"`` routes events through the Z-order
+        match index (identical answers, indexed cost).
+    run_budget:
+        Per-subscription cap on key ranges stored by the ``"sfc"`` match index.
     """
 
     broker_id: Hashable
@@ -75,11 +87,19 @@ class Broker:
     backend: str = "avl"
     samples: int = 8
     seed: Optional[int] = None
-    cube_budget: int = 2_000
+    cube_budget: int = DEFAULT_CUBE_BUDGET
+    matching: str = "linear"
+    run_budget: int = DEFAULT_RUN_BUDGET
     stats: BrokerStats = field(default_factory=BrokerStats)
 
     def __post_init__(self) -> None:
-        self.routing_table = RoutingTable()
+        self.routing_table = RoutingTable(
+            schema=self.schema,
+            matching=self.matching,
+            backend=self.backend,
+            run_budget=self.run_budget,
+            seed=self.seed,
+        )
         self._neighbors: List[Hashable] = []
         self._forwarded: Dict[Hashable, CoveringStrategy] = {}
         self._forwarded_ids: Dict[Hashable, Set[Hashable]] = {}
@@ -147,18 +167,31 @@ class Broker:
             self._consider_forwarding(neighbor_id, subscription)
 
     def _consider_forwarding(self, neighbor_id: Hashable, subscription: Subscription) -> None:
+        if subscription.sub_id in self._forwarded_ids[neighbor_id]:
+            # Duplicate arrival of a subscription already forwarded on this
+            # link: re-adding it to the strategy and re-sending it would
+            # double-count state downstream and leave a ghost entry behind
+            # after a single withdrawal.
+            return
         strategy = self._forwarded[neighbor_id]
         self.stats.covering_checks += 1
         before = strategy.work_units()
         covered_by = strategy.find_covering(subscription.ranges)
         self.stats.covering_check_runs += strategy.work_units() - before
         if covered_by is not None:
-            self.stats.subscriptions_suppressed += 1
+            if subscription.sub_id not in self._suppressed[neighbor_id]:
+                self.stats.subscriptions_suppressed += 1
             self._suppressed[neighbor_id][subscription.sub_id] = subscription
             self._decision_log.append(
                 ForwardDecision(subscription.sub_id, neighbor_id, False, covered_by)
             )
             return
+        # A duplicate arrival of a previously *suppressed* subscription can
+        # reach this point when the (approximate) covering check misses the
+        # cover it found the first time.  Forwarding is then correct, but the
+        # pending entry must go, or a later withdrawal would take the
+        # suppressed early-exit and leave a ghost entry in the strategy.
+        self._suppressed[neighbor_id].pop(subscription.sub_id, None)
         strategy.add(subscription.sub_id, subscription.ranges)
         self._forwarded_ids[neighbor_id].add(subscription.sub_id)
         self.stats.subscriptions_forwarded += 1
@@ -236,15 +269,47 @@ class Broker:
         """Inject an event published by a locally attached client."""
         self.receive_event(LOCAL_INTERFACE, event)
 
-    def receive_event(self, from_interface: Hashable, event: Event) -> None:
-        """Deliver an event locally and forward it along matching interfaces."""
+    def publish_batch(self, events: Sequence[Event]) -> None:
+        """Inject a batch of locally published events.
+
+        Under SFC matching the events' Z-order keys are computed in one pass
+        (sharing per-coordinate spreading work across the batch) and threaded
+        through routing, so each key is built once instead of once per
+        interface probe.
+        """
+        for _ in self.publish_batch_iter(events):
+            pass
+
+    def publish_batch_iter(self, events: Sequence[Event]):
+        """Like :meth:`publish_batch`, yielding each event after it is routed.
+
+        Lets callers (the network's delivery-tracking wrapper) observe
+        per-event boundaries while sharing the amortised key computation.
+        """
+        events = list(events)
+        keys = self.routing_table.event_keys(events)
+        for event, key in zip(events, keys):
+            self.receive_event(LOCAL_INTERFACE, event, key=key)
+            yield event
+
+    def receive_event(
+        self, from_interface: Hashable, event: Event, key: Optional[int] = None
+    ) -> None:
+        """Deliver an event locally and forward it along matching interfaces.
+
+        ``key`` optionally carries the event's precomputed SFC key (from
+        :meth:`publish_batch`); when absent and SFC matching is active the key
+        is computed once here and shared across all interface probes.
+        """
         self.stats.events_received += 1
         self._deliver_locally(event)
-        for interface_id in self.routing_table.matching_interfaces(event, exclude=from_interface):
-            if interface_id == LOCAL_INTERFACE or interface_id == from_interface:
-                continue
-            if interface_id not in self._neighbors:
-                continue
+        if key is None:
+            key = self.routing_table.event_key(event)
+        # Probe only neighbour tables: the local-client table is handled by
+        # _deliver_locally above, so matching it here would be wasted work.
+        for interface_id in self.routing_table.matching_interfaces(
+            event, exclude=from_interface, key=key, among=self._neighbors
+        ):
             self.stats.events_forwarded += 1
             if self._send_event is None:
                 raise RuntimeError(
@@ -252,6 +317,19 @@ class Broker:
                     "add it to a BrokerNetwork before publishing events"
                 )
             self._send_event(self.broker_id, interface_id, event)
+
+    def sync_match_stats(self) -> None:
+        """Pull the match-index work counters into :attr:`stats`.
+
+        The counters are running totals held by the per-interface indexes;
+        aggregating them per event would cost an interface sweep on the hot
+        path, so callers (stats collection, tests) sync on read instead.
+        """
+        (
+            self.stats.match_index_lookups,
+            self.stats.match_index_candidates,
+            self.stats.match_index_false_positives,
+        ) = self.routing_table.match_work()
 
     def _deliver_locally(self, event: Event) -> None:
         for client_id, subscriptions in self._local_subscribers.items():

@@ -1,0 +1,368 @@
+"""SFC-keyed forwarding-match index: event matching as a single ordered-map probe.
+
+Brokers answer "does any subscription stored on this interface match event
+``p``?" for every event on every interface — the dominant cost of event
+routing once an interface holds thousands of subscriptions.  The linear scan
+in :class:`~repro.pubsub.routing_table.InterfaceTable` costs ``O(n)`` match
+tests per event; this module brings the paper's SFC machinery to bear on that
+hot path the same way Section 5 applies it to covering detection.
+
+The idea: a subscription is a rectangle on the quantised attribute grid, and
+by Fact 2.1 a rectangle decomposes into a bounded number of *runs* —
+contiguous Z-order key segments.  An event is a single cell, i.e. a single
+key.  "Event matches subscription" is exactly "``key(p)`` lies inside one of
+the subscription's runs".  The index therefore stores the runs of every
+subscription, flattened into *disjoint* key segments each labelled with the
+set of subscriptions whose runs cover it.  Because the segments are disjoint,
+the segment containing ``key(p)`` — if any — is found by one
+``first_in_range(key(p), max_key)`` probe on an ordered-map backend from
+:mod:`repro.index.backends` (the segment with the smallest upper endpoint
+``>= key(p)``; the point is inside it iff the segment's lower endpoint is
+``<= key(p)``).
+
+Three refinements keep the structure bounded and sound:
+
+* **Precision-bounded decomposition.**  Before decomposing, the rectangle is
+  snapped outward to a grid of side ``2^{order - precision_bits}``, so the
+  quadtree recursion bottoms out after ``precision_bits`` levels instead of
+  descending to unit cells whose runs the coarsening below would discard
+  anyway.  Snapping outward only ever *adds* cells.
+* **Run-budget coarsening.**  Thin rectangles can decompose into many runs
+  (the aspect-ratio lower bound of Theorem 4.1), so per subscription the run
+  list is over-approximated down to at most ``run_budget`` ranges by closing
+  the smallest inter-run gaps.  Again, only ever adds keys, so no matching
+  event can be missed.
+* **Rectangle fallback check.**  A candidate produced by the segment probe may
+  be a false positive of the coarsening (its over-approximated range contains
+  ``key(p)`` but its rectangle does not contain ``p``).  Every candidate is
+  therefore confirmed with a ``d``-comparison per-attribute range check before
+  being reported, which restores exactness.
+
+Together: no false negatives (exact runs cover every matching key and
+coarsening only widens them), no false positives (the rectangle check rejects
+them) — the index is behaviourally identical to the linear scan while the
+per-event cost is one ordered-map probe plus the candidates of one segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core.decomposition import decompose_rectangle
+from ..geometry.bits import spread_bits
+from ..geometry.rect import Rectangle
+from ..geometry.universe import Universe
+from ..index.backends import make_backend
+from ..sfc.base import KeyRange
+from ..sfc.runs import merge_key_ranges
+from ..sfc.zorder import ZOrderCurve
+from .schema import AttributeSchema
+
+__all__ = [
+    "MatchIndex",
+    "MatchIndexStats",
+    "DEFAULT_RUN_BUDGET",
+    "DEFAULT_PRECISION_BITS",
+    "spread_bits",
+]
+
+#: Default cap on stored key ranges per subscription.  Thin rectangles whose
+#: exact decomposition has more runs are over-approximated down to this many;
+#: the rectangle fallback check absorbs the resulting false positives.
+DEFAULT_RUN_BUDGET = 64
+
+#: Default decomposition precision: rectangles are snapped outward to a grid
+#: with this many bits per dimension before cube decomposition, bounding the
+#: quadtree work independently of the schema order.
+DEFAULT_PRECISION_BITS = 6
+
+
+@dataclass
+class MatchIndexStats:
+    """Operation counters (backend-independent work units for benchmarks)."""
+
+    inserts: int = 0
+    removals: int = 0
+    runs_stored: int = 0
+    coarsened_subscriptions: int = 0
+    lookups: int = 0
+    candidates_checked: int = 0
+    false_positives: int = 0
+
+
+@dataclass
+class _Segment:
+    """One maximal key interval covered by a fixed set of subscriptions.
+
+    Stored in the ordered-map backend under the segment's inclusive *upper*
+    endpoint; ``lo`` is the inclusive lower endpoint.  Segments are pairwise
+    disjoint and non-adjacent segments never share an identical ``subs`` set
+    for long (removal re-coalesces), so the backend size stays proportional to
+    the stored run count.
+    """
+
+    lo: int
+    subs: Set[Hashable] = field(default_factory=set)
+
+
+class MatchIndex:
+    """Point-stab index over the subscriptions of one interface.
+
+    Parameters
+    ----------
+    schema:
+        Attribute schema shared with the routing layer; fixes the grid
+        (``d = num_attributes`` dimensions, ``2^order`` cells per side).
+    backend:
+        Ordered-map backend name (``"avl"``, ``"skiplist"``, ``"sortedlist"``).
+    run_budget:
+        Per-subscription cap on stored key ranges (see module docstring).
+    precision_bits:
+        Grid resolution (bits per dimension) at which rectangles are
+        decomposed; schemas with a larger order have their rectangles snapped
+        outward to this grid first (see module docstring).
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        backend: str = "avl",
+        run_budget: int = DEFAULT_RUN_BUDGET,
+        precision_bits: int = DEFAULT_PRECISION_BITS,
+        seed: Optional[int] = None,
+    ) -> None:
+        if run_budget < 1:
+            raise ValueError(f"run_budget must be at least 1, got {run_budget}")
+        if precision_bits < 1:
+            raise ValueError(f"precision_bits must be at least 1, got {precision_bits}")
+        self.schema = schema
+        self.universe = Universe(dims=schema.num_attributes, order=schema.order)
+        self.curve = ZOrderCurve(self.universe)
+        self.run_budget = run_budget
+        self.precision_bits = precision_bits
+        self._segments = make_backend(backend, seed=seed)
+        self._ranges: Dict[Hashable, Tuple[KeyRange, ...]] = {}
+        self._rects: Dict[Hashable, Tuple[Tuple[int, int], ...]] = {}
+        self.stats = MatchIndexStats()
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def __contains__(self, sub_id: Hashable) -> bool:
+        return sub_id in self._rects
+
+    def segment_count(self) -> int:
+        """Number of disjoint key segments currently stored (structure size)."""
+        return len(self._segments)
+
+    def event_key(self, cells: Sequence[int]) -> int:
+        """Z-order key of an event's quantised cell vector."""
+        return self.curve.key(cells)
+
+    # ----------------------------------------------------------------- updates
+    def add(self, sub_id: Hashable, ranges: Sequence[Tuple[int, int]]) -> None:
+        """Index a subscription's quantised per-attribute ranges (replacing any previous).
+
+        Validation happens before any mutation, so a rejected replace leaves
+        the previously stored entry intact.
+        """
+        rect_ranges = tuple((int(lo), int(hi)) for lo, hi in ranges)
+        if len(rect_ranges) != self.universe.dims:
+            raise ValueError(
+                f"subscription has {len(rect_ranges)} ranges but the schema "
+                f"has {self.universe.dims} attributes"
+            )
+        max_cell = self.universe.max_coordinate
+        for lo, hi in rect_ranges:
+            if lo > hi or lo < 0 or hi > max_cell:
+                raise ValueError(
+                    f"invalid subscription range [{lo}, {hi}]; expected "
+                    f"0 <= lo <= hi <= {max_cell}"
+                )
+        if sub_id in self._rects:
+            self.remove(sub_id)
+        # Snap the rectangle outward to the precision grid: the quadtree
+        # recursion then never descends below cubes of this side, bounding the
+        # decomposition work regardless of the schema order.  The extra cells
+        # are over-approximation, rejected later by the rectangle check.
+        snap = 1 << max(0, self.universe.order - self.precision_bits)
+        rect = Rectangle(
+            tuple((lo // snap) * snap for lo, _ in rect_ranges),
+            tuple(((hi // snap) + 1) * snap - 1 for _, hi in rect_ranges),
+        )
+        cubes = decompose_rectangle(self.universe, rect)
+        runs = merge_key_ranges(self.curve.cube_key_range(cube) for cube in cubes)
+        runs = self._coarsen(runs)
+        self._rects[sub_id] = rect_ranges
+        self._ranges[sub_id] = tuple(runs)
+        for lo, hi in runs:
+            self._insert_range(lo, hi, sub_id)
+        self.stats.inserts += 1
+        self.stats.runs_stored += len(runs)
+
+    def remove(self, sub_id: Hashable) -> bool:
+        """Drop a subscription from the index; return True when it was present."""
+        runs = self._ranges.pop(sub_id, None)
+        if runs is None:
+            return False
+        del self._rects[sub_id]
+        for lo, hi in runs:
+            self._remove_range(lo, hi, sub_id)
+        self.stats.removals += 1
+        self.stats.runs_stored -= len(runs)
+        return True
+
+    def _coarsen(self, runs: List[KeyRange]) -> List[KeyRange]:
+        """Over-approximate ``runs`` down to at most ``run_budget`` ranges.
+
+        Closes the smallest gaps first, so the number of spurious keys added —
+        and with it the false-positive rate the fallback check must absorb —
+        is minimal for the chosen budget.
+        """
+        if len(runs) <= self.run_budget:
+            return runs
+        gaps = sorted(
+            range(len(runs) - 1), key=lambda i: runs[i + 1][0] - runs[i][1]
+        )
+        close = set(gaps[: len(runs) - self.run_budget])
+        coarsened: List[KeyRange] = []
+        current_lo, current_hi = runs[0]
+        for i in range(1, len(runs)):
+            if i - 1 in close:
+                current_hi = runs[i][1]
+            else:
+                coarsened.append((current_lo, current_hi))
+                current_lo, current_hi = runs[i]
+        coarsened.append((current_lo, current_hi))
+        self.stats.coarsened_subscriptions += 1
+        return coarsened
+
+    # ----------------------------------------------------- segment maintenance
+    def _overlapping(self, lo: int, hi: int) -> List[Tuple[int, _Segment]]:
+        """Return the stored segments intersecting ``[lo, hi]`` in key order."""
+        overlapping: List[Tuple[int, _Segment]] = []
+        for seg_hi, segment in self._segments.items_in_range(lo, self.universe.max_key):
+            if segment.lo > hi:
+                break
+            overlapping.append((seg_hi, segment))
+        return overlapping
+
+    def _insert_range(self, lo: int, hi: int, sub_id: Hashable) -> None:
+        overlapping = self._overlapping(lo, hi)
+        # Segments fully inside the range only gain a member: mutate their
+        # sets in place.  Backend deletes/inserts are needed only for the at
+        # most two segments straddling the range endpoints and for the gap
+        # segments the range newly populates, keeping structural ordered-map
+        # work O(gaps + 2) instead of O(overlapping segments).
+        to_delete: List[int] = []
+        rebuilt: List[Tuple[int, int, Set[Hashable]]] = []
+        cursor = lo
+        for seg_hi, segment in overlapping:
+            mid_lo = max(segment.lo, lo)
+            if cursor < mid_lo:
+                # Gap between covered segments belongs to the new range alone.
+                rebuilt.append((cursor, mid_lo - 1, {sub_id}))
+            mid_hi = min(seg_hi, hi)
+            if segment.lo >= lo and seg_hi <= hi:
+                segment.subs.add(sub_id)
+            else:
+                to_delete.append(seg_hi)
+                if segment.lo < lo:
+                    rebuilt.append((segment.lo, lo - 1, set(segment.subs)))
+                rebuilt.append((mid_lo, mid_hi, set(segment.subs) | {sub_id}))
+                if seg_hi > hi:
+                    rebuilt.append((hi + 1, seg_hi, set(segment.subs)))
+            cursor = mid_hi + 1
+        if cursor <= hi:
+            rebuilt.append((cursor, hi, {sub_id}))
+        for seg_hi in to_delete:
+            self._segments.delete(seg_hi)
+        for seg_lo, seg_hi, subs in rebuilt:
+            self._segments.insert(seg_hi, _Segment(seg_lo, subs))
+
+    def _remove_range(self, lo: int, hi: int, sub_id: Hashable) -> None:
+        # Segments were split at this range's endpoints on insertion and later
+        # operations only split further, so any segment containing sub_id lies
+        # fully inside [lo, hi]; straddling segments belong to other
+        # subscriptions and pass through untouched.
+        survivors: List[Tuple[int, int, _Segment]] = []
+        for seg_hi, segment in self._overlapping(lo, hi):
+            if segment.lo >= lo and seg_hi <= hi:
+                segment.subs.discard(sub_id)
+                if not segment.subs:
+                    self._segments.delete(seg_hi)
+                    continue
+            survivors.append((segment.lo, seg_hi, segment))
+        # Re-coalesce adjacent fragments left identical by the removal so
+        # churn does not permanently fragment the key space.
+        index = 0
+        while index + 1 < len(survivors):
+            lo_a, hi_a, seg_a = survivors[index]
+            lo_b, hi_b, seg_b = survivors[index + 1]
+            if hi_a + 1 == lo_b and seg_a.subs == seg_b.subs:
+                self._segments.delete(hi_a)
+                self._segments.delete(hi_b)
+                merged = _Segment(lo_a, seg_a.subs)
+                self._segments.insert(hi_b, merged)
+                survivors[index + 1] = (lo_a, hi_b, merged)
+            index += 1
+
+    # ----------------------------------------------------------------- queries
+    _EMPTY: FrozenSet[Hashable] = frozenset()
+
+    def _stab(self, key: int) -> Set[Hashable]:
+        """Live candidate set of the segment containing ``key`` (no copy).
+
+        One ``first_in_range`` probe: segments are disjoint, so the segment
+        with the smallest upper endpoint ``>= key`` is the only one that can
+        contain ``key``.  Callers must not mutate the returned set.
+        """
+        self.stats.lookups += 1
+        hit = self._segments.first_in_range(key, self.universe.max_key)
+        if hit is None:
+            return self._EMPTY  # type: ignore[return-value]
+        _, segment = hit
+        if segment.lo > key:
+            return self._EMPTY  # type: ignore[return-value]
+        return segment.subs
+
+    def candidates(self, key: int) -> FrozenSet[Hashable]:
+        """Subscriptions whose stored (possibly coarsened) runs contain ``key``."""
+        return frozenset(self._stab(key))
+
+    def _rect_contains(self, sub_id: Hashable, cells: Sequence[int]) -> bool:
+        return all(
+            lo <= cell <= hi for (lo, hi), cell in zip(self._rects[sub_id], cells)
+        )
+
+    def any_match(self, cells: Sequence[int], key: Optional[int] = None) -> bool:
+        """True when at least one indexed subscription matches the event cells."""
+        if key is None:
+            key = self.curve.key(cells)
+        for sub_id in self._stab(key):
+            self.stats.candidates_checked += 1
+            if self._rect_contains(sub_id, cells):
+                return True
+            self.stats.false_positives += 1
+        return False
+
+    def matching_ids(self, cells: Sequence[int], key: Optional[int] = None) -> List[Hashable]:
+        """All indexed subscriptions matching the event cells (order unspecified)."""
+        if key is None:
+            key = self.curve.key(cells)
+        matched: List[Hashable] = []
+        for sub_id in self._stab(key):
+            self.stats.candidates_checked += 1
+            if self._rect_contains(sub_id, cells):
+                matched.append(sub_id)
+            else:
+                self.stats.false_positives += 1
+        return matched
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchIndex(subscriptions={len(self)}, segments={self.segment_count()}, "
+            f"run_budget={self.run_budget})"
+        )

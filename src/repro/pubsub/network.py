@@ -22,6 +22,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 import networkx as nx
 
 from .broker import Broker
+from .match_index import DEFAULT_RUN_BUDGET
+from .routing_table import DEFAULT_CUBE_BUDGET
 from .schema import AttributeSchema
 from .stats import NetworkStats
 from .subscription import Event, Subscription
@@ -80,7 +82,9 @@ class BrokerNetwork:
     backend: str = "avl"
     samples: int = 8
     seed: Optional[int] = None
-    cube_budget: int = 2_000
+    cube_budget: int = DEFAULT_CUBE_BUDGET
+    matching: str = "linear"
+    run_budget: int = DEFAULT_RUN_BUDGET
     brokers: Dict[Hashable, Broker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -106,6 +110,8 @@ class BrokerNetwork:
             samples=self.samples,
             seed=self.seed,
             cube_budget=self.cube_budget,
+            matching=self.matching,
+            run_budget=self.run_budget,
         )
         broker.attach_transport(
             self._transport_subscription,
@@ -145,7 +151,9 @@ class BrokerNetwork:
         backend: str = "avl",
         samples: int = 8,
         seed: Optional[int] = None,
-        cube_budget: int = 2_000,
+        cube_budget: int = DEFAULT_CUBE_BUDGET,
+        matching: str = "linear",
+        run_budget: int = DEFAULT_RUN_BUDGET,
     ) -> "BrokerNetwork":
         """Build a network from an edge list (nodes are created on first sight)."""
         network = cls(
@@ -156,6 +164,8 @@ class BrokerNetwork:
             samples=samples,
             seed=seed,
             cube_budget=cube_budget,
+            matching=matching,
+            run_budget=run_budget,
         )
         for a, b in edges:
             if a not in network.brokers:
@@ -219,6 +229,22 @@ class BrokerNetwork:
         self.brokers[broker_id].publish_local(event)
         return {record.client_id for record in self.deliveries[before:]}
 
+    def publish_batch(self, broker_id: Hashable, events: Sequence[Event]) -> List[Set[Hashable]]:
+        """Publish a batch of events at ``broker_id``; return per-event delivery sets.
+
+        Equivalent to calling :meth:`publish` per event, but under SFC
+        matching the events' curve keys are computed in one amortised pass at
+        the publishing broker before routing starts.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"unknown broker {broker_id!r}")
+        results: List[Set[Hashable]] = []
+        before = len(self.deliveries)
+        for _ in self.brokers[broker_id].publish_batch_iter(events):
+            results.append({record.client_id for record in self.deliveries[before:]})
+            before = len(self.deliveries)
+        return results
+
     # ---------------------------------------------------------------- auditing
     def expected_recipients(self, event: Event) -> Set[Hashable]:
         """Ground truth: every client with at least one subscription matching ``event``."""
@@ -258,4 +284,8 @@ class BrokerNetwork:
             stats.events_delivered += len(expected) - len(missed)
             stats.events_missed += len(missed)
             stats.duplicate_deliveries += len(extra)
+        # The match-index work counters live in the per-interface indexes and
+        # are pulled into BrokerStats on read rather than per event.
+        for broker in self.brokers.values():
+            broker.sync_match_stats()
         return stats

@@ -17,11 +17,14 @@ code independent of which detector is in use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from ..baselines.linear_scan import LinearScanCoveringDetector
 from ..baselines.probabilistic import ProbabilisticCoveringDetector
 from ..core.covering import ApproximateCoveringDetector
+from ..geometry.universe import Universe
+from ..sfc.zorder import ZOrderCurve
+from .match_index import DEFAULT_RUN_BUDGET, MatchIndex
 from .schema import AttributeSchema
 from .subscription import Event, Subscription
 
@@ -34,7 +37,18 @@ __all__ = [
     "make_covering_strategy",
     "InterfaceTable",
     "RoutingTable",
+    "DEFAULT_CUBE_BUDGET",
+    "MATCHING_KINDS",
 ]
+
+#: The single source of truth for the per-check work bound of the approximate
+#: covering strategy.  A router bounds this so one subscription arrival cannot
+#: stall the forwarding path; every layer (strategy, factory, broker, network)
+#: defaults to this same constant.
+DEFAULT_CUBE_BUDGET = 2_000
+
+#: Event-matching implementations an interface table can use.
+MATCHING_KINDS = ("linear", "sfc")
 
 
 class CoveringStrategy(Protocol):
@@ -104,7 +118,7 @@ class ApproximateCoveringStrategy:
         attribute_order: int,
         epsilon: float = 0.05,
         backend: str = "avl",
-        cube_budget: int = 100_000,
+        cube_budget: int = DEFAULT_CUBE_BUDGET,
     ) -> None:
         self.name = f"approx(ε={epsilon})"
         self.epsilon = epsilon
@@ -163,7 +177,7 @@ def make_covering_strategy(
     backend: str = "avl",
     samples: int = 8,
     seed: Optional[int] = None,
-    cube_budget: int = 2_000,
+    cube_budget: int = DEFAULT_CUBE_BUDGET,
 ) -> CoveringStrategy:
     """Build a covering strategy by name: ``none``, ``exact``, ``approximate`` or ``probabilistic``.
 
@@ -190,11 +204,44 @@ def make_covering_strategy(
 
 
 class InterfaceTable:
-    """Subscriptions learnt through a single interface."""
+    """Subscriptions learnt through a single interface.
 
-    def __init__(self, interface_id: Hashable) -> None:
+    Event matching is pluggable: ``matching="linear"`` scans the stored
+    subscriptions per event (the baseline), ``matching="sfc"`` maintains a
+    :class:`~repro.pubsub.match_index.MatchIndex` so that "does anything here
+    match?" is a single ordered-map probe plus a handful of rectangle checks.
+    Both give identical answers; the audit in :class:`BrokerNetwork` can be
+    run under either to compare them.
+    """
+
+    def __init__(
+        self,
+        interface_id: Hashable,
+        schema: Optional[AttributeSchema] = None,
+        matching: str = "linear",
+        backend: str = "avl",
+        run_budget: int = DEFAULT_RUN_BUDGET,
+        seed: Optional[int] = None,
+    ) -> None:
+        if matching not in MATCHING_KINDS:
+            raise ValueError(
+                f"unknown matching kind {matching!r}; expected one of {MATCHING_KINDS}"
+            )
+        if matching == "sfc" and schema is None:
+            raise ValueError("matching='sfc' requires the attribute schema")
         self.interface_id = interface_id
+        self.matching_kind = matching
         self._subscriptions: Dict[Hashable, Subscription] = {}
+        self._index: Optional[MatchIndex] = (
+            MatchIndex(schema, backend=backend, run_budget=run_budget, seed=seed)
+            if matching == "sfc" and schema is not None
+            else None
+        )
+
+    @property
+    def match_index(self) -> Optional[MatchIndex]:
+        """The SFC match index, or ``None`` under linear matching."""
+        return self._index
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -203,33 +250,88 @@ class InterfaceTable:
         return sub_id in self._subscriptions
 
     def add(self, subscription: Subscription) -> None:
+        # Index first: MatchIndex.add validates before mutating, so a rejected
+        # subscription leaves table and index consistent.
+        if self._index is not None:
+            self._index.add(subscription.sub_id, subscription.ranges)
         self._subscriptions[subscription.sub_id] = subscription
 
     def remove(self, sub_id: Hashable) -> bool:
-        return self._subscriptions.pop(sub_id, None) is not None
+        removed = self._subscriptions.pop(sub_id, None) is not None
+        if removed and self._index is not None:
+            self._index.remove(sub_id)
+        return removed
 
     def subscriptions(self) -> List[Subscription]:
         return list(self._subscriptions.values())
 
-    def matching(self, event: Event) -> List[Subscription]:
-        """Return the stored subscriptions matching ``event``."""
+    def matching(self, event: Event, key: Optional[int] = None) -> List[Subscription]:
+        """Return the stored subscriptions matching ``event``.
+
+        ``key`` optionally supplies the event's precomputed SFC key (ignored
+        under linear matching).  Result order is insertion order for linear
+        matching and unspecified for SFC matching.
+        """
+        if self._index is not None:
+            return [
+                self._subscriptions[sub_id]
+                for sub_id in self._index.matching_ids(event.cells, key=key)
+            ]
         return [sub for sub in self._subscriptions.values() if sub.matches(event)]
 
-    def any_match(self, event: Event) -> bool:
+    def any_match(self, event: Event, key: Optional[int] = None) -> bool:
         """Return True when at least one stored subscription matches ``event``."""
+        if self._index is not None:
+            return self._index.any_match(event.cells, key=key)
         return any(sub.matches(event) for sub in self._subscriptions.values())
 
 
 class RoutingTable:
-    """All interface tables of one broker."""
+    """All interface tables of one broker.
 
-    def __init__(self) -> None:
+    When built with ``matching="sfc"`` every interface table carries a
+    :class:`MatchIndex` and event routing computes each event's Z-order key
+    once, sharing it across all interface probes (and, via
+    :meth:`event_keys`, across the events of a batch).
+    """
+
+    def __init__(
+        self,
+        schema: Optional[AttributeSchema] = None,
+        matching: str = "linear",
+        backend: str = "avl",
+        run_budget: int = DEFAULT_RUN_BUDGET,
+        seed: Optional[int] = None,
+    ) -> None:
+        if matching not in MATCHING_KINDS:
+            raise ValueError(
+                f"unknown matching kind {matching!r}; expected one of {MATCHING_KINDS}"
+            )
+        if matching == "sfc" and schema is None:
+            raise ValueError("matching='sfc' requires the attribute schema")
+        self.schema = schema
+        self.matching_kind = matching
+        self._backend_name = backend
+        self._run_budget = run_budget
+        self._seed = seed
         self._tables: Dict[Hashable, InterfaceTable] = {}
+        self._curve: Optional[ZOrderCurve] = (
+            ZOrderCurve(Universe(dims=schema.num_attributes, order=schema.order))
+            if matching == "sfc" and schema is not None
+            else None
+        )
 
     def table(self, interface_id: Hashable) -> InterfaceTable:
         """Return (creating on demand) the table for ``interface_id``."""
         if interface_id not in self._tables:
-            self._tables[interface_id] = InterfaceTable(interface_id)
+            self._tables[interface_id] = InterfaceTable(
+                interface_id,
+                schema=self.schema,
+                matching=self.matching_kind,
+                backend=self._backend_name,
+                run_budget=self._run_budget,
+                seed=self._seed,
+            )
         return self._tables[interface_id]
 
     def interfaces(self) -> Iterable[Hashable]:
@@ -239,10 +341,60 @@ class RoutingTable:
         """Total number of subscription entries across all interfaces."""
         return sum(len(table) for table in self._tables.values())
 
-    def matching_interfaces(self, event: Event, exclude: Optional[Hashable] = None) -> List[Hashable]:
-        """Interfaces (≠ ``exclude``) holding at least one subscription matching ``event``."""
+    def event_key(self, event: Event) -> Optional[int]:
+        """SFC key of ``event`` under SFC matching, ``None`` under linear."""
+        if self._curve is None:
+            return None
+        return self._curve.key(event.cells)
+
+    def event_keys(self, events: Sequence[Event]) -> List[Optional[int]]:
+        """SFC keys for a batch of events, amortising the bit-interleaving work.
+
+        Delegates to :meth:`ZOrderCurve.keys`, which spreads each distinct
+        coordinate value at most once per dimension across the whole batch —
+        batches with recurring attribute values (hot topics, repeated prices)
+        pay far less than per-event key construction.
+        """
+        if self._curve is None:
+            return [None] * len(events)
+        return list(self._curve.keys([event.cells for event in events]))
+
+    def matching_interfaces(
+        self,
+        event: Event,
+        exclude: Optional[Hashable] = None,
+        key: Optional[int] = None,
+        among: Optional[Sequence[Hashable]] = None,
+    ) -> List[Hashable]:
+        """Interfaces (≠ ``exclude``) holding at least one subscription matching ``event``.
+
+        ``among`` restricts the probe to the given interfaces (the broker
+        passes its neighbour list so the local-client table is never probed —
+        local delivery has its own path and the match work would be wasted).
+        """
+        if key is None and self._curve is not None:
+            key = self._curve.key(event.cells)
+        if among is None:
+            candidates = self._tables.items()
+        else:
+            candidates = [
+                (interface_id, self._tables[interface_id])
+                for interface_id in among
+                if interface_id in self._tables
+            ]
         return [
             interface_id
-            for interface_id, table in self._tables.items()
-            if interface_id != exclude and table.any_match(event)
+            for interface_id, table in candidates
+            if interface_id != exclude and table.any_match(event, key=key)
         ]
+
+    def match_work(self) -> Tuple[int, int, int]:
+        """Aggregate ``(lookups, candidates_checked, false_positives)`` over all match indexes."""
+        lookups = candidates = false_positives = 0
+        for table in self._tables.values():
+            index = table.match_index
+            if index is not None:
+                lookups += index.stats.lookups
+                candidates += index.stats.candidates_checked
+                false_positives += index.stats.false_positives
+        return lookups, candidates, false_positives

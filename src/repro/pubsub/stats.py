@@ -29,6 +29,9 @@ class BrokerStats:
     events_forwarded: int = 0
     events_delivered_locally: int = 0
     match_tests: int = 0
+    match_index_lookups: int = 0
+    match_index_candidates: int = 0
+    match_index_false_positives: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dictionary (for reporting)."""
@@ -43,6 +46,9 @@ class BrokerStats:
             "events_forwarded": self.events_forwarded,
             "events_delivered_locally": self.events_delivered_locally,
             "match_tests": self.match_tests,
+            "match_index_lookups": self.match_index_lookups,
+            "match_index_candidates": self.match_index_candidates,
+            "match_index_false_positives": self.match_index_false_positives,
         }
 
 

@@ -33,11 +33,16 @@ def merge_key_ranges(ranges: Iterable[KeyRange]) -> List[KeyRange]:
     >>> merge_key_ranges([(4, 7), (0, 3), (10, 12)])
     [(0, 7), (10, 12)]
     """
-    sorted_ranges = sorted(ranges)
-    merged: List[KeyRange] = []
-    for lo, hi in sorted_ranges:
+    # Validate everything up front, in input order, so which inverted range is
+    # reported does not depend on where it happens to land after sorting (and
+    # no partial merge work is done before the error surfaces).
+    materialised = list(ranges)
+    for lo, hi in materialised:
         if lo > hi:
             raise ValueError(f"invalid key range [{lo}, {hi}]")
+    sorted_ranges = sorted(materialised)
+    merged: List[KeyRange] = []
+    for lo, hi in sorted_ranges:
         if merged and lo <= merged[-1][1] + 1:
             prev_lo, prev_hi = merged[-1]
             merged[-1] = (prev_lo, max(prev_hi, hi))
@@ -94,10 +99,22 @@ class RunProfile:
     def from_cubes(
         cls, curve: SpaceFillingCurve, cubes: Sequence[StandardCube]
     ) -> "RunProfile":
-        """Build a profile from an exact standard-cube partition of a region."""
+        """Build a profile from an exact standard-cube partition of a region.
+
+        Raises ``ValueError`` when the cubes do not form an exact partition:
+        the merged key ranges must account for exactly the cells the cubes
+        claim, otherwise overlapping or colliding cubes would silently corrupt
+        ``runs(T)`` and every statistic derived from it.
+        """
         ranges = merge_key_ranges(cube_key_ranges(curve, cubes))
         volumes = tuple(sorted((hi - lo + 1 for lo, hi in ranges), reverse=True))
         total = sum(cube.volume for cube in cubes)
+        merged_volume = sum(volumes)
+        if merged_volume != total:
+            raise ValueError(
+                f"cubes are not an exact partition: merged key ranges cover "
+                f"{merged_volume} cells but the cubes claim {total}"
+            )
         return cls(
             curve_name=curve.name,
             num_cubes=len(cubes),

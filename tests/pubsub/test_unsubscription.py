@@ -11,6 +11,7 @@ import random
 
 import pytest
 
+from repro.pubsub.broker import LOCAL_INTERFACE
 from repro.pubsub.client import Publisher, Subscriber
 from repro.pubsub.network import BrokerNetwork, chain_topology, tree_topology
 from repro.pubsub.schema import Attribute, AttributeSchema
@@ -111,6 +112,72 @@ class TestCoveringAwareWithdrawal:
         assert not network.brokers[0].has_forwarded(1, "narrow")
         delivered = network.publish(3, Event(schema, {"x": 15.0, "y": 5.0}))
         assert {"c-mid", "c-narrow"} <= delivered
+
+    @pytest.mark.parametrize("covering", ["exact", "approximate"])
+    def test_chained_covers_withdraw_outermost(self, schema, covering):
+        """A ⊇ B ⊇ C: withdrawing A must re-forward B downstream; C stays
+        suppressed because B still covers it, and nobody loses events."""
+        network = make_network(schema, covering)
+        broker0 = network.brokers[0]
+        network.subscribe(0, "c-a", Subscription(schema, {"x": (0.0, 90.0)}, sub_id="A"))
+        network.subscribe(0, "c-b", Subscription(schema, {"x": (5.0, 60.0)}, sub_id="B"))
+        network.subscribe(0, "c-c", Subscription(schema, {"x": (10.0, 20.0)}, sub_id="C"))
+        if covering == "exact":
+            assert broker0.has_forwarded(1, "A")
+            assert not broker0.has_forwarded(1, "B")
+            assert not broker0.has_forwarded(1, "C")
+
+        assert network.unsubscribe("c-a", "A")
+
+        assert not broker0.has_forwarded(1, "A")
+        if covering == "exact":
+            assert broker0.has_forwarded(1, "B")
+            assert not broker0.has_forwarded(1, "C")
+        missed, extra = network.publish_and_audit(3, Event(schema, {"x": 15.0, "y": 5.0}))
+        assert missed == set()
+        assert extra == set()
+
+    def test_suppressed_then_reforwarded_stats(self, schema):
+        """The suppression and re-forwarding of a covered subscription must be
+        visible in the broker counters, and the suppressed set must drain."""
+        network = make_network(schema, covering="exact")
+        broker0 = network.brokers[0]
+        network.subscribe(0, "w", Subscription(schema, {"x": (0.0, 90.0)}, sub_id="wide"))
+        network.subscribe(0, "n", Subscription(schema, {"x": (10.0, 20.0)}, sub_id="narrow"))
+        assert broker0.stats.subscriptions_suppressed == 1
+        assert broker0.stats.subscriptions_forwarded == 1
+        assert "narrow" in broker0._suppressed[1]
+
+        assert network.unsubscribe("w", "wide")
+
+        # The withdrawal re-forwarded the narrow subscription: the cumulative
+        # forwarded counter grows, the suppressed counter does not shrink
+        # (it counts suppression events), and the pending set is drained.
+        assert broker0.stats.subscriptions_forwarded == 2
+        assert broker0.stats.subscriptions_suppressed == 1
+        assert broker0._suppressed[1] == {}
+        assert broker0.has_forwarded(1, "narrow")
+
+    def test_duplicate_subscription_arrival_is_idempotent(self, schema):
+        """Regression: a duplicate arrival of an already-forwarded sub_id used
+        to call strategy.add again and re-send the subscription downstream."""
+        network = make_network(schema, covering="exact", brokers=2)
+        broker0 = network.brokers[0]
+        sub = Subscription(schema, {"x": (0.0, 50.0)}, sub_id="dup")
+        broker0.receive_subscription(LOCAL_INTERFACE, sub)
+        assert network.subscription_messages == 1
+        broker0.receive_subscription(LOCAL_INTERFACE, sub)
+        assert network.subscription_messages == 1
+        assert broker0.stats.subscriptions_forwarded == 1
+
+        # A single withdrawal must fully clear the forwarded state: no ghost
+        # entry may survive in the covering strategy to suppress later
+        # subscriptions it no longer represents.
+        broker0.receive_unsubscription(LOCAL_INTERFACE, "dup")
+        assert not broker0.has_forwarded(1, "dup")
+        covered = Subscription(schema, {"x": (10.0, 20.0)}, sub_id="later")
+        broker0.receive_subscription(LOCAL_INTERFACE, covered)
+        assert broker0.has_forwarded(1, "later")
 
     @pytest.mark.parametrize("covering", ["exact", "approximate"])
     def test_random_churn_never_loses_events(self, schema, covering):
