@@ -12,6 +12,11 @@ python -m pytest -x -q tests
 echo "== benchmark smoke (tiny sizes) =="
 REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_pubsub_propagation.py \
-    benchmarks/bench_event_matching.py
+    benchmarks/bench_event_matching.py \
+    benchmarks/bench_sim_latency.py
+
+echo "== example smoke (tiny sizes) =="
+REPRO_BENCH_SMOKE=1 python examples/broker_network_simulation.py > /dev/null
+REPRO_BENCH_SMOKE=1 python examples/sim_latency_churn.py > /dev/null
 
 echo "ci.sh: all checks passed"

@@ -11,18 +11,27 @@ under four covering strategies — none, exact linear scan, the paper's
 * missed event deliveries (zero for sound strategies; possibly non-zero for
   the probabilistic baseline, which can suppress a subscription it shouldn't).
 
+Inter-broker messages travel through an explicit transport: the synchronous
+:class:`~repro.sim.transport.SyncTransport` here (immediate inline delivery —
+the covering comparison is about routing state, not timing).  See
+``examples/sim_latency_churn.py`` for the discrete-event simulated transport
+with latency, bounded queues and broker churn.
+
 Run with:  python examples/broker_network_simulation.py
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 from repro.analysis.reporting import format_bar_chart, format_table
 from repro.pubsub import BrokerNetwork, Event, Subscription, tree_topology
+from repro.sim import SyncTransport
 from repro.workloads.scenarios import sensor_network_scenario
 
-NUM_BROKERS = 15
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+NUM_BROKERS = 7 if _SMOKE else 15
 STRATEGIES = ("none", "exact", "approximate", "probabilistic")
 
 
@@ -35,6 +44,7 @@ def run_strategy(scenario, covering: str, placements, publish_at) -> dict:
         cube_budget=3_000,
         samples=6,
         seed=42,
+        transport=SyncTransport(),
     )
     for i, constraints in enumerate(scenario.subscriptions):
         subscription = Subscription(scenario.schema, constraints, sub_id=f"alert-{i}")
@@ -63,7 +73,12 @@ def run_strategy(scenario, covering: str, placements, publish_at) -> dict:
 
 
 def main() -> None:
-    scenario = sensor_network_scenario(num_subscriptions=250, num_events=80, order=9, seed=21)
+    scenario = sensor_network_scenario(
+        num_subscriptions=60 if _SMOKE else 250,
+        num_events=20 if _SMOKE else 80,
+        order=9,
+        seed=21,
+    )
     rng = random.Random(99)
     placements = [rng.randrange(NUM_BROKERS) for _ in scenario.subscriptions]
     publish_at = [rng.randrange(NUM_BROKERS) for _ in scenario.events]

@@ -8,6 +8,7 @@ from .experiments import (
     run_lem32_experiment,
     run_pubsub_experiment,
     run_recall_experiment,
+    run_sim_latency_experiment,
     run_thm31_experiment,
     run_thm41_experiment,
     run_throughput_experiment,
@@ -22,6 +23,7 @@ __all__ = [
     "run_lem32_experiment",
     "run_pubsub_experiment",
     "run_recall_experiment",
+    "run_sim_latency_experiment",
     "run_thm31_experiment",
     "run_thm41_experiment",
     "run_throughput_experiment",

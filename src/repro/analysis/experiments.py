@@ -36,7 +36,7 @@ from ..geometry.rect import ExtremalRectangle, Rectangle
 from ..geometry.universe import Universe
 from ..index.kdtree import KDTree
 from ..index.range_tree import RangeTree
-from ..pubsub.network import BrokerNetwork, tree_topology
+from ..pubsub.network import BrokerNetwork, chain_topology, star_topology, tree_topology
 from ..pubsub.schema import Attribute, AttributeSchema
 from ..pubsub.subscription import Event, Subscription
 from ..sfc.hilbert import HilbertCurve
@@ -54,6 +54,7 @@ __all__ = [
     "run_approx_vs_exhaustive_experiment",
     "run_recall_experiment",
     "run_pubsub_experiment",
+    "run_sim_latency_experiment",
     "run_event_matching_experiment",
     "run_dimensionality_experiment",
     "run_throughput_experiment",
@@ -752,4 +753,87 @@ def run_throughput_experiment(
             exact_hits=hits_linear,
             rangetree_storage_cells=range_tree.storage_cells(),
         )
+    return table
+
+
+def run_sim_latency_experiment(
+    num_brokers: int = 9,
+    num_subscriptions: int = 60,
+    num_events: int = 40,
+    order: int = 8,
+    latency_models: Sequence[str] = ("fixed", "uniform", "distance"),
+    topologies: Sequence[str] = ("tree", "chain", "star"),
+    inbox_capacity: int = 8,
+    service_time: float = 0.02,
+    epsilon: float = 0.2,
+    matching: str = "linear",
+    seed: int = 29,
+) -> ResultTable:
+    """E-SIM-LATENCY: flash-crowd delivery latency under simulated transports.
+
+    For every (latency model × topology) pair, a sensor-network flash-crowd
+    script runs over a :class:`~repro.sim.transport.SimTransport` with bounded
+    per-broker inboxes, and the row reports the delivery-latency percentiles,
+    hop counts, queue-depth high-water mark, backpressure retries — and the
+    audit outcome, which must be zero missed deliveries for every
+    configuration (the safety claim does not bend to timing).
+    """
+    from ..sim.latency import make_latency_model, random_positions
+    from ..sim.transport import SimTransport
+    from ..workloads.dynamics import flash_crowd_script, run_dynamic_scenario
+    from ..workloads.scenarios import sensor_network_scenario
+
+    topology_builders = {
+        "tree": tree_topology,
+        "chain": chain_topology,
+        "star": star_topology,
+    }
+    table = ResultTable("E-SIM-LATENCY: flash-crowd latency by latency model and topology")
+    scenario = sensor_network_scenario(
+        num_subscriptions=num_subscriptions, num_events=num_events, order=order, seed=seed
+    )
+    broker_ids = list(range(num_brokers))
+    for model_kind in latency_models:
+        for topo_kind in topologies:
+            if model_kind == "fixed":
+                latency = make_latency_model("fixed", delay=0.5)
+            elif model_kind == "uniform":
+                latency = make_latency_model("uniform", base=0.2, jitter=0.6)
+            else:
+                latency = make_latency_model(
+                    "distance", positions=random_positions(broker_ids, seed=seed), scale=0.1
+                )
+            transport = SimTransport(
+                latency,
+                inbox_capacity=inbox_capacity,
+                service_time=service_time,
+                seed=seed,
+            )
+            network = BrokerNetwork.from_topology(
+                scenario.schema,
+                topology_builders[topo_kind](num_brokers),
+                covering="approximate",
+                epsilon=epsilon,
+                matching=matching,
+                transport=transport,
+            )
+            report = run_dynamic_scenario(
+                network,
+                flash_crowd_script(scenario, broker_ids, seed=seed + 1),
+                name=f"{model_kind}/{topo_kind}",
+            )
+            summary = report.stats.transport_summary()
+            table.add(
+                latency_model=model_kind,
+                topology=topo_kind,
+                events=report.events_published,
+                missed=report.missed_deliveries,
+                latency_p50=round(summary["latency_p50"], 3),
+                latency_p90=round(summary["latency_p90"], 3),
+                latency_p99=round(summary["latency_p99"], 3),
+                hops_p90=summary["hops_p90"],
+                max_queue_depth=summary["max_queue_depth"],
+                backpressure_retries=summary["backpressure_retries"],
+                messages_sent=summary["messages_sent"],
+            )
     return table

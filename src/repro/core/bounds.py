@@ -7,7 +7,7 @@ experiment:
 * :func:`lemma32_min_volume_fraction` — the guaranteed coverage of the
   truncated rectangle (Lemma 3.2).
 * :func:`lemma37_cube_bound` — the cube-count bound on the truncated region
-  (Lemma 3.7): ``cubes(R^m(ℓ)) < m · [2^α (2^m − 1)]^{d−1}``.
+  (Lemma 3.7): ``cubes(R^m(ℓ)) ≤ d · m · [2^α (2^m − 1)]^{d−1}``.
 * :func:`theorem31_run_bound` — the ε-approximate query cost bound
   (Theorem 3.1) obtained by substituting ``m = ⌈log2(2d/ε)⌉``.
 * :func:`theorem41_lower_bound` — the exhaustive-search lower bound
@@ -51,7 +51,18 @@ def lemma32_min_volume_fraction(dims: int, truncated_bits: int) -> float:
 
 
 def lemma37_cube_bound(dims: int, alpha: int, truncated_bits: int) -> int:
-    """Return the Lemma 3.7 bound ``m · [2^α (2^m − 1)]^{d−1}`` on ``cubes(R^m(ℓ))``."""
+    """Return the Lemma 3.7 bound ``d · m · [2^α (2^m − 1)]^{d−1}`` on ``cubes(R^m(ℓ))``.
+
+    The bound follows the per-class slab argument: the class of side-``2^i``
+    cubes is covered by one slab per dimension whose length has bit ``i`` set
+    (at most ``d·m`` (class, dimension) pairs in total since every truncated
+    length has at most ``m`` significant bits), and each slab is a grid of at
+    most ``[2^α (2^m − 1)]^{d−1}`` cubes.  Note the leading factor ``d``: the
+    per-class count alone can exceed ``[2^α(2^m−1)]^{d−1}`` — e.g. the scaled
+    region ``3×3×3`` (``d = 3``, ``m = 2``, ``α = 0``) needs 19 unit cubes in
+    its lowest class and 20 in total, above the ``d``-less value 18 — so the
+    dimension factor cannot be dropped.
+    """
     if dims <= 0:
         raise ValueError(f"dims must be positive, got {dims}")
     if alpha < 0:
@@ -59,7 +70,7 @@ def lemma37_cube_bound(dims: int, alpha: int, truncated_bits: int) -> int:
     if truncated_bits <= 0:
         raise ValueError(f"truncated_bits must be positive, got {truncated_bits}")
     m = truncated_bits
-    return m * ((1 << alpha) * ((1 << m) - 1)) ** (dims - 1)
+    return dims * m * ((1 << alpha) * ((1 << m) - 1)) ** (dims - 1)
 
 
 def theorem31_run_bound(dims: int, alpha: int, epsilon: float) -> int:

@@ -23,7 +23,7 @@ from .routing_table import (
     make_covering_strategy,
 )
 from .schema import Attribute, AttributeSchema
-from .stats import BrokerStats, NetworkStats
+from .stats import BrokerStats, NetworkStats, TransportStats
 from .subscription import Event, Subscription, make_event, make_subscription
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "AttributeSchema",
     "BrokerStats",
     "NetworkStats",
+    "TransportStats",
     "Event",
     "Subscription",
     "make_event",

@@ -93,16 +93,13 @@ class Broker:
     stats: BrokerStats = field(default_factory=BrokerStats)
 
     def __post_init__(self) -> None:
-        self.routing_table = RoutingTable(
-            schema=self.schema,
-            matching=self.matching,
-            backend=self.backend,
-            run_budget=self.run_budget,
-            seed=self.seed,
-        )
+        self.routing_table = self._fresh_routing_table()
         self._neighbors: List[Hashable] = []
         self._forwarded: Dict[Hashable, CoveringStrategy] = {}
-        self._forwarded_ids: Dict[Hashable, Set[Hashable]] = {}
+        # Per neighbour: the subscriptions actually sent on the link, keyed by
+        # id.  The objects (not just ids) are kept so a link can be re-synced
+        # after the neighbour loses state (crash recovery).
+        self._forwarded_ids: Dict[Hashable, Dict[Hashable, Subscription]] = {}
         self._suppressed: Dict[Hashable, Dict[Hashable, Subscription]] = {}
         self._local_subscribers: Dict[Hashable, List[Subscription]] = {}
         self._decision_log: List[ForwardDecision] = []
@@ -113,21 +110,35 @@ class Broker:
         self._deliver: Optional[Callable[[Hashable, Hashable, Event], None]] = None
 
     # ------------------------------------------------------------------ wiring
+    def _fresh_routing_table(self) -> RoutingTable:
+        """Build an empty routing table from this broker's configuration."""
+        return RoutingTable(
+            schema=self.schema,
+            matching=self.matching,
+            backend=self.backend,
+            run_budget=self.run_budget,
+            seed=self.seed,
+        )
+
+    def _fresh_link_state(self, neighbor_id: Hashable) -> None:
+        """(Re)initialise the per-link covering strategy and bookkeeping."""
+        self._forwarded[neighbor_id] = make_covering_strategy(
+            self.covering,
+            self.schema,
+            epsilon=self.epsilon,
+            backend=self.backend,
+            samples=self.samples,
+            seed=self.seed,
+            cube_budget=self.cube_budget,
+        )
+        self._forwarded_ids[neighbor_id] = {}
+        self._suppressed[neighbor_id] = {}
+
     def connect(self, neighbor_id: Hashable) -> None:
         """Register a neighbouring broker (called by the network while building the topology)."""
         if neighbor_id not in self._neighbors:
             self._neighbors.append(neighbor_id)
-            self._forwarded[neighbor_id] = make_covering_strategy(
-                self.covering,
-                self.schema,
-                epsilon=self.epsilon,
-                backend=self.backend,
-                samples=self.samples,
-                seed=self.seed,
-                cube_budget=self.cube_budget,
-            )
-            self._forwarded_ids[neighbor_id] = set()
-            self._suppressed[neighbor_id] = {}
+            self._fresh_link_state(neighbor_id)
 
     def attach_transport(
         self,
@@ -159,8 +170,11 @@ class Broker:
     def receive_subscription(self, from_interface: Hashable, subscription: Subscription) -> None:
         """Handle a subscription arriving from ``from_interface`` (neighbour or local client)."""
         self.stats.subscriptions_received += 1
-        self.routing_table.table(from_interface).add(subscription)
-        self.stats.subscriptions_stored += 1
+        table = self.routing_table.table(from_interface)
+        already_stored = subscription.sub_id in table
+        table.add(subscription)
+        if not already_stored:
+            self.stats.subscriptions_stored += 1
         for neighbor_id in self._neighbors:
             if neighbor_id == from_interface:
                 continue
@@ -193,7 +207,7 @@ class Broker:
         # suppressed early-exit and leave a ghost entry in the strategy.
         self._suppressed[neighbor_id].pop(subscription.sub_id, None)
         strategy.add(subscription.sub_id, subscription.ranges)
-        self._forwarded_ids[neighbor_id].add(subscription.sub_id)
+        self._forwarded_ids[neighbor_id][subscription.sub_id] = subscription
         self.stats.subscriptions_forwarded += 1
         self._decision_log.append(ForwardDecision(subscription.sub_id, neighbor_id, True, None))
         if self._send_subscription is None:
@@ -205,7 +219,88 @@ class Broker:
 
     def has_forwarded(self, neighbor_id: Hashable, sub_id: Hashable) -> bool:
         """Return True when ``sub_id`` was forwarded to ``neighbor_id`` (test helper)."""
-        return sub_id in self._forwarded_ids.get(neighbor_id, set())
+        return sub_id in self._forwarded_ids.get(neighbor_id, {})
+
+    # ------------------------------------------------------------------- churn
+    def reset_routing_state(self) -> None:
+        """Forget all learnt routing and covering state (crash recovery).
+
+        Locally attached clients, neighbour links and cumulative stats
+        survive; everything learnt from the network — interface tables,
+        per-link covering strategies, forwarded/suppressed bookkeeping — is
+        rebuilt from scratch because messages lost while the broker was down
+        make the old state untrustworthy.
+        """
+        self.routing_table = self._fresh_routing_table()
+        for neighbor_id in self._neighbors:
+            self._fresh_link_state(neighbor_id)
+
+    def flush_interface(self, neighbor_id: Hashable) -> int:
+        """Withdraw everything previously forwarded on this link (pre-reset).
+
+        Used by crash recovery as the first half of flush-and-refill: the
+        recovering broker cannot know which of its pre-crash forwards are
+        still valid (an unsubscription may have been dropped while it was
+        down), so it retracts them all; the re-announcement and neighbour
+        resyncs that follow re-add every live one.  Per-link FIFO ordering in
+        the transport makes the retract-then-re-add sequence converge.  Local
+        state is left untouched — the caller resets it wholesale next.
+        Returns the number of withdrawals sent.
+        """
+        if neighbor_id not in self._forwarded_ids:
+            raise ValueError(f"{neighbor_id!r} is not a neighbour of broker {self.broker_id!r}")
+        if self._send_unsubscription is None:
+            return 0
+        flushed = 0
+        for sub_id in self._forwarded_ids[neighbor_id]:
+            self._send_unsubscription(self.broker_id, neighbor_id, sub_id)
+            flushed += 1
+        return flushed
+
+    def resync_interface(self, neighbor_id: Hashable) -> int:
+        """Replay every subscription forwarded on this link (neighbour lost state).
+
+        Only the *forwarded* set is replayed: a subscription this broker
+        suppressed on the link is covered by one it did forward, so the
+        neighbour's rebuilt routing state still attracts every event the
+        suppressed subscriber needs — the covering optimisation carries over
+        to recovery traffic.  Returns the number of subscriptions re-sent.
+        """
+        if neighbor_id not in self._forwarded_ids:
+            raise ValueError(f"{neighbor_id!r} is not a neighbour of broker {self.broker_id!r}")
+        if self._send_subscription is None:
+            raise RuntimeError(
+                f"broker {self.broker_id} has no transport attached; "
+                "add it to a BrokerNetwork before resyncing"
+            )
+        resent = 0
+        for subscription in self._forwarded_ids[neighbor_id].values():
+            self._send_subscription(self.broker_id, neighbor_id, subscription)
+            resent += 1
+        self.stats.subscriptions_resynced += resent
+        return resent
+
+    def announce_interface(self, neighbor_id: Hashable) -> int:
+        """Run the forwarding decision toward a newly attached neighbour.
+
+        Every subscription currently known (from any other interface,
+        including local clients) is considered for forwarding on the new link
+        with the usual covering check, so a broker joining mid-run attracts
+        the events its side of the overlay needs.  Returns the number of
+        subscriptions considered.
+        """
+        if neighbor_id not in self._forwarded_ids:
+            raise ValueError(f"{neighbor_id!r} is not a neighbour of broker {self.broker_id!r}")
+        seen: Set[Hashable] = set()
+        for interface_id in list(self.routing_table.interfaces()):
+            if interface_id == neighbor_id:
+                continue
+            for subscription in self.routing_table.table(interface_id).subscriptions():
+                if subscription.sub_id in seen:
+                    continue
+                seen.add(subscription.sub_id)
+                self._consider_forwarding(neighbor_id, subscription)
+        return len(seen)
 
     # --------------------------------------------------------- unsubscriptions
     def unsubscribe_local(self, client_id: Hashable, sub_id: Hashable) -> bool:
@@ -243,7 +338,7 @@ class Broker:
             return
         strategy = self._forwarded[neighbor_id]
         strategy.remove(sub_id)
-        self._forwarded_ids[neighbor_id].discard(sub_id)
+        self._forwarded_ids[neighbor_id].pop(sub_id, None)
         if self._send_unsubscription is not None:
             self._send_unsubscription(self.broker_id, neighbor_id, sub_id)
         # Subscriptions previously suppressed on this link may have lost their
@@ -258,7 +353,7 @@ class Broker:
                 continue
             del suppressed[pending_id]
             strategy.add(pending_id, pending.ranges)
-            self._forwarded_ids[neighbor_id].add(pending_id)
+            self._forwarded_ids[neighbor_id][pending_id] = pending
             self.stats.subscriptions_forwarded += 1
             self._decision_log.append(ForwardDecision(pending_id, neighbor_id, True, None))
             if self._send_subscription is not None:

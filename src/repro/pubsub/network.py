@@ -3,15 +3,22 @@
 :class:`BrokerNetwork` wires :class:`Broker` instances into an acyclic overlay
 (publish/subscribe systems such as Siena and REBECA use tree or per-source
 tree topologies; an acyclic overlay means reverse-path forwarding needs no
-duplicate suppression).  The network provides the synchronous "transport":
-subscription and event messages between brokers are delivered immediately and
-counted.
+duplicate suppression).  Every inter-broker subscription, unsubscription and
+event message travels through a pluggable :class:`~repro.sim.transport.Transport`:
+the default :class:`~repro.sim.transport.SyncTransport` delivers immediately
+inline (the historical behaviour), while
+:class:`~repro.sim.transport.SimTransport` runs messages through a
+deterministic discrete-event kernel with per-link latency, bounded per-broker
+inboxes and broker churn (crash / recover / join).
 
 Beyond simulation the network audits correctness: for every published event it
 computes the ground-truth set of subscribers whose subscriptions match and
 compares it with the deliveries that actually happened, so experiments can
 verify the paper's safety claim — approximate covering never loses events —
 and observe that an *unsound* strategy (the probabilistic baseline) can.
+Under churn the ground truth is restricted to *surviving, reachable*
+subscribers: clients homed at brokers that are up and connected to the
+publishing broker through up brokers.
 """
 
 from __future__ import annotations
@@ -21,7 +28,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 
 import networkx as nx
 
-from .broker import Broker
+from ..sim.transport import SyncTransport, Transport
+from .broker import LOCAL_INTERFACE, Broker
 from .match_index import DEFAULT_RUN_BUDGET
 from .routing_table import DEFAULT_CUBE_BUDGET
 from .schema import AttributeSchema
@@ -31,10 +39,14 @@ from .subscription import Event, Subscription
 __all__ = ["BrokerNetwork", "DeliveryRecord", "tree_topology", "chain_topology", "star_topology"]
 
 
-def tree_topology(num_brokers: int, branching: int = 2) -> List[Tuple[int, int]]:
-    """Return the edge list of a balanced tree with ``num_brokers`` nodes."""
+def _require_positive_brokers(num_brokers: int) -> None:
     if num_brokers <= 0:
         raise ValueError(f"num_brokers must be positive, got {num_brokers}")
+
+
+def tree_topology(num_brokers: int, branching: int = 2) -> List[Tuple[int, int]]:
+    """Return the edge list of a balanced tree with ``num_brokers`` nodes."""
+    _require_positive_brokers(num_brokers)
     edges = []
     for child in range(1, num_brokers):
         parent = (child - 1) // branching
@@ -44,21 +56,28 @@ def tree_topology(num_brokers: int, branching: int = 2) -> List[Tuple[int, int]]
 
 def chain_topology(num_brokers: int) -> List[Tuple[int, int]]:
     """Return the edge list of a linear chain of brokers."""
+    _require_positive_brokers(num_brokers)
     return [(i, i + 1) for i in range(num_brokers - 1)]
 
 
 def star_topology(num_brokers: int) -> List[Tuple[int, int]]:
     """Return the edge list of a star: broker 0 in the centre."""
+    _require_positive_brokers(num_brokers)
     return [(0, i) for i in range(1, num_brokers)]
 
 
 @dataclass(frozen=True)
 class DeliveryRecord:
-    """One delivery of an event to a local subscriber."""
+    """One delivery of an event to a local subscriber.
+
+    ``time`` is the simulated delivery time (always 0.0 under the synchronous
+    transport).
+    """
 
     client_id: Hashable
     subscription_id: Hashable
     event_id: Hashable
+    time: float = 0.0
 
 
 @dataclass
@@ -74,6 +93,11 @@ class BrokerNetwork:
         ``"approximate"``, ``"probabilistic"``).
     epsilon:
         Approximation parameter for the approximate strategy.
+    transport:
+        Message transport between brokers; defaults to a fresh
+        :class:`~repro.sim.transport.SyncTransport` (immediate inline
+        delivery).  Pass a :class:`~repro.sim.transport.SimTransport` for
+        latency, queueing and churn.
     """
 
     schema: AttributeSchema
@@ -85,9 +109,13 @@ class BrokerNetwork:
     cube_budget: int = DEFAULT_CUBE_BUDGET
     matching: str = "linear"
     run_budget: int = DEFAULT_RUN_BUDGET
+    transport: Optional[Transport] = None
     brokers: Dict[Hashable, Broker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.transport is None:
+            self.transport = SyncTransport()
+        self.transport.bind(self)
         self.graph = nx.Graph()
         self.subscription_messages = 0
         self.unsubscription_messages = 0
@@ -95,6 +123,7 @@ class BrokerNetwork:
         self.deliveries: List[DeliveryRecord] = []
         self._client_home: Dict[Hashable, Hashable] = {}
         self._client_subscriptions: Dict[Hashable, List[Subscription]] = {}
+        self._publish_times: Dict[Hashable, float] = {}
 
     # ---------------------------------------------------------------- topology
     def add_broker(self, broker_id: Hashable) -> Broker:
@@ -154,6 +183,7 @@ class BrokerNetwork:
         cube_budget: int = DEFAULT_CUBE_BUDGET,
         matching: str = "linear",
         run_budget: int = DEFAULT_RUN_BUDGET,
+        transport: Optional[Transport] = None,
     ) -> "BrokerNetwork":
         """Build a network from an edge list (nodes are created on first sight)."""
         network = cls(
@@ -166,6 +196,7 @@ class BrokerNetwork:
             cube_budget=cube_budget,
             matching=matching,
             run_budget=run_budget,
+            transport=transport,
         )
         for a, b in edges:
             if a not in network.brokers:
@@ -180,24 +211,121 @@ class BrokerNetwork:
     # ---------------------------------------------------------------- transport
     def _transport_subscription(self, sender: Hashable, receiver: Hashable, subscription: Subscription) -> None:
         self.subscription_messages += 1
-        self.brokers[receiver].receive_subscription(sender, subscription)
+        self.transport.send("subscription", sender, receiver, subscription)
 
     def _transport_unsubscription(self, sender: Hashable, receiver: Hashable, sub_id: Hashable) -> None:
         self.unsubscription_messages += 1
-        self.brokers[receiver].receive_unsubscription(sender, sub_id)
+        self.transport.send("unsubscription", sender, receiver, sub_id)
 
     def _transport_event(self, sender: Hashable, receiver: Hashable, event: Event) -> None:
         self.event_messages += 1
-        self.brokers[receiver].receive_event(sender, event)
+        self.transport.send("event", sender, receiver, event)
+
+    def _dispatch(self, kind: str, sender: Hashable, receiver: Hashable, payload: object) -> None:
+        """Hand a message that has arrived (in simulated time) to its broker."""
+        broker = self.brokers[receiver]
+        if kind == "subscription":
+            broker.receive_subscription(sender, payload)
+        elif kind == "unsubscription":
+            broker.receive_unsubscription(sender, payload)
+        elif kind == "event":
+            broker.receive_event(sender, payload)
+        else:
+            raise ValueError(f"unknown message kind {kind!r}")
 
     def _record_delivery(self, client_id: Hashable, subscription_id: Hashable, event: Event) -> None:
-        self.deliveries.append(DeliveryRecord(client_id, subscription_id, event.event_id))
+        now = self.transport.now
+        published = self._publish_times.get(event.event_id, now)
+        self.transport.record_delivery_latency(now - published)
+        self.deliveries.append(DeliveryRecord(client_id, subscription_id, event.event_id, time=now))
+
+    # ------------------------------------------------------------------- churn
+    def crash_broker(self, broker_id: Hashable) -> None:
+        """Take a broker down: queued and future messages to it are dropped.
+
+        Its locally attached subscribers are considered dead (excluded from
+        the audit ground truth) until :meth:`recover_broker`.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"unknown broker {broker_id!r}")
+        if not self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is already down")
+        self.transport.mark_down(broker_id)
+
+    def recover_broker(self, broker_id: Hashable) -> None:
+        """Bring a crashed broker back and re-propagate routing state.
+
+        The recovered broker lost every message sent while it was down, so its
+        learnt routing/covering state cannot be trusted: recovery is
+        flush-and-refill.  First the broker *retracts* everything it had
+        forwarded pre-crash (an unsubscription dropped at the dead broker
+        would otherwise leave ghost routing entries downstream forever), then
+        its state is wiped and rebuilt: it re-announces its local
+        subscriptions and each live neighbour replays the subscriptions it
+        had forwarded on the link (only the *forwarded* set needs replay —
+        subscriptions a neighbour suppressed are covered by something it did
+        forward, so event routing stays complete: the covering optimisation
+        extends to recovery).  Per-link FIFO delivery orders the retractions
+        before the re-announcements, so the downstream state converges to
+        exactly the live subscription set once the churn settles.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"unknown broker {broker_id!r}")
+        if self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is not down")
+        self.transport.mark_up(broker_id)
+        broker = self.brokers[broker_id]
+        for neighbor_id in broker.neighbors:
+            if self.transport.is_up(neighbor_id):
+                broker.flush_interface(neighbor_id)
+        broker.reset_routing_state()
+        for _client_id, subscription in broker.local_subscriptions():
+            broker.receive_subscription(LOCAL_INTERFACE, subscription)
+        for neighbor_id in broker.neighbors:
+            if self.transport.is_up(neighbor_id):
+                self.brokers[neighbor_id].resync_interface(broker_id)
+
+    def join_broker(self, broker_id: Hashable, attach_to: Hashable) -> Broker:
+        """Add a new broker mid-run, attached to an existing live broker.
+
+        The attachment broker runs the covering-aware forwarding decision for
+        every subscription it knows, so events published at (or routed via)
+        the new broker reach existing subscribers.
+        """
+        if attach_to not in self.brokers:
+            raise ValueError(f"unknown broker {attach_to!r}")
+        if not self.transport.is_up(attach_to):
+            raise ValueError(f"cannot attach to crashed broker {attach_to!r}")
+        broker = self.add_broker(broker_id)
+        self.connect(broker_id, attach_to)
+        self.brokers[attach_to].announce_interface(broker_id)
+        return broker
+
+    def client_home(self, client_id: Hashable) -> Optional[Hashable]:
+        """The broker a client subscribed through, or ``None`` if unknown."""
+        return self._client_home.get(client_id)
+
+    def live_brokers(self) -> Set[Hashable]:
+        """Brokers currently up."""
+        return {broker_id for broker_id in self.brokers if self.transport.is_up(broker_id)}
+
+    def reachable_brokers(self, origin: Hashable) -> Set[Hashable]:
+        """Brokers reachable from ``origin`` through live brokers (incl. itself)."""
+        if origin not in self.brokers:
+            raise ValueError(f"unknown broker {origin!r}")
+        if not self.transport.is_up(origin):
+            return set()
+        live = self.live_brokers()
+        component = nx.node_connected_component(self.graph.subgraph(live), origin)
+        return set(component)
 
     # ------------------------------------------------------------------- usage
     def subscribe(self, broker_id: Hashable, client_id: Hashable, subscription: Subscription) -> None:
         """Register a client subscription at ``broker_id`` and propagate it network-wide."""
         if broker_id not in self.brokers:
             raise ValueError(f"unknown broker {broker_id!r}")
+        if not self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is down")
         self._client_home[client_id] = broker_id
         self._client_subscriptions.setdefault(client_id, []).append(subscription)
         self.brokers[broker_id].subscribe_local(client_id, subscription)
@@ -213,6 +341,8 @@ class BrokerNetwork:
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             return False
+        if not self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is down")
         removed = self.brokers[broker_id].unsubscribe_local(client_id, sub_id)
         if removed:
             subscriptions = self._client_subscriptions.get(client_id, [])
@@ -221,13 +351,37 @@ class BrokerNetwork:
             ]
         return removed
 
-    def publish(self, broker_id: Hashable, event: Event) -> Set[Hashable]:
-        """Publish ``event`` at ``broker_id``; return the set of clients it was delivered to."""
+    def publish_async(self, broker_id: Hashable, event: Event) -> None:
+        """Inject ``event`` at ``broker_id`` without waiting for propagation.
+
+        Under a simulated transport the event's messages are scheduled on the
+        kernel; call :meth:`flush` (or keep running the scenario) to let them
+        arrive.  Under the synchronous transport this is equivalent to
+        :meth:`publish` except for the return value.
+        """
         if broker_id not in self.brokers:
             raise ValueError(f"unknown broker {broker_id!r}")
-        before = len(self.deliveries)
+        if not self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is down")
+        self._publish_times.setdefault(event.event_id, self.transport.now)
         self.brokers[broker_id].publish_local(event)
-        return {record.client_id for record in self.deliveries[before:]}
+
+    def publish(self, broker_id: Hashable, event: Event) -> Set[Hashable]:
+        """Publish ``event`` at ``broker_id``; return the set of clients it was delivered to.
+
+        Blocks (in simulated time) until the network is quiescent, so the
+        returned set is complete even under a latency/queueing transport.
+        """
+        before = len(self.deliveries)
+        self.publish_async(broker_id, event)
+        self.flush()
+        # Filter by event id: the flush also drains deliveries of any events
+        # still in flight from earlier publish_async calls.
+        return {
+            record.client_id
+            for record in self.deliveries[before:]
+            if record.event_id == event.event_id
+        }
 
     def publish_batch(self, broker_id: Hashable, events: Sequence[Event]) -> List[Set[Hashable]]:
         """Publish a batch of events at ``broker_id``; return per-event delivery sets.
@@ -238,26 +392,58 @@ class BrokerNetwork:
         """
         if broker_id not in self.brokers:
             raise ValueError(f"unknown broker {broker_id!r}")
-        results: List[Set[Hashable]] = []
+        if not self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is down")
+        events = list(events)
         before = len(self.deliveries)
-        for _ in self.brokers[broker_id].publish_batch_iter(events):
-            results.append({record.client_id for record in self.deliveries[before:]})
-            before = len(self.deliveries)
-        return results
+        now = self.transport.now
+        for event in events:
+            self._publish_times.setdefault(event.event_id, now)
+        self.brokers[broker_id].publish_batch(events)
+        self.flush()
+        delivered: Dict[Hashable, Set[Hashable]] = {event.event_id: set() for event in events}
+        for record in self.deliveries[before:]:
+            # Deliveries of events that were already in flight before this
+            # batch drain in the same flush; they are not part of the result.
+            if record.event_id in delivered:
+                delivered[record.event_id].add(record.client_id)
+        return [delivered[event.event_id] for event in events]
+
+    def flush(self) -> int:
+        """Deliver every in-flight message; return the number of kernel steps.
+
+        Once the network is quiescent nothing can still be delivered, so the
+        publish-time bookkeeping behind latency measurement is dropped — the
+        table cannot grow without bound, and a later reuse of an event id
+        measures its own propagation, not the gap since the first run.
+        """
+        steps = self.transport.flush()
+        self._publish_times.clear()
+        return steps
 
     # ---------------------------------------------------------------- auditing
-    def expected_recipients(self, event: Event) -> Set[Hashable]:
-        """Ground truth: every client with at least one subscription matching ``event``."""
+    def expected_recipients(self, event: Event, origin: Optional[Hashable] = None) -> Set[Hashable]:
+        """Ground truth: every live client with a subscription matching ``event``.
+
+        Clients homed at crashed brokers are excluded; with ``origin`` the set
+        is further restricted to clients reachable from the publishing broker
+        through live brokers (an event cannot cross a dead broker).
+        """
+        if origin is not None:
+            allowed = self.reachable_brokers(origin)
+        else:
+            allowed = self.live_brokers()
         return {
             client_id
             for client_id, subscriptions in self._client_subscriptions.items()
-            if any(sub.matches(event) for sub in subscriptions)
+            if self._client_home.get(client_id) in allowed
+            and any(sub.matches(event) for sub in subscriptions)
         }
 
     def publish_and_audit(self, broker_id: Hashable, event: Event) -> Tuple[Set[Hashable], Set[Hashable]]:
         """Publish an event and return ``(missed_clients, extra_clients)`` against ground truth."""
         delivered = self.publish(broker_id, event)
-        expected = self.expected_recipients(event)
+        expected = self.expected_recipients(event, origin=broker_id)
         return expected - delivered, delivered - expected
 
     # ------------------------------------------------------------------- stats
@@ -277,10 +463,11 @@ class BrokerNetwork:
             routing_table_entries=self.routing_table_entries(),
             subscription_messages=self.subscription_messages,
             event_messages=self.event_messages,
+            transport=self.transport.stats,
         )
         for broker_id, event in events:
             missed, extra = self.publish_and_audit(broker_id, event)
-            expected = self.expected_recipients(event)
+            expected = self.expected_recipients(event, origin=broker_id)
             stats.events_delivered += len(expected) - len(missed)
             stats.events_missed += len(missed)
             stats.duplicate_deliveries += len(extra)

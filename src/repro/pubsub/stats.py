@@ -10,9 +10,11 @@ broker owns a :class:`BrokerStats`; the network aggregates them into a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, Optional
 
-__all__ = ["BrokerStats", "NetworkStats"]
+from ..sim.transport import TransportStats
+
+__all__ = ["BrokerStats", "NetworkStats", "TransportStats"]
 
 
 @dataclass
@@ -23,6 +25,7 @@ class BrokerStats:
     subscriptions_stored: int = 0
     subscriptions_forwarded: int = 0
     subscriptions_suppressed: int = 0
+    subscriptions_resynced: int = 0
     covering_checks: int = 0
     covering_check_runs: int = 0
     events_received: int = 0
@@ -40,6 +43,7 @@ class BrokerStats:
             "subscriptions_stored": self.subscriptions_stored,
             "subscriptions_forwarded": self.subscriptions_forwarded,
             "subscriptions_suppressed": self.subscriptions_suppressed,
+            "subscriptions_resynced": self.subscriptions_resynced,
             "covering_checks": self.covering_checks,
             "covering_check_runs": self.covering_check_runs,
             "events_received": self.events_received,
@@ -67,6 +71,12 @@ class NetworkStats:
         Delivery bookkeeping against the ground truth (a missed delivery can
         only occur if an unsound covering decision suppressed a needed
         subscription; the SFC approximate detector never causes one).
+    transport:
+        The transport's counters and distributions — delivery-latency and
+        hop-count percentiles, queue-depth high-water marks, backpressure
+        retries and drops.  Under the synchronous transport all latencies are
+        zero; under :class:`~repro.sim.transport.SimTransport` these are the
+        timing metrics of the simulated run.
     """
 
     per_broker: Dict[Hashable, BrokerStats] = field(default_factory=dict)
@@ -76,6 +86,7 @@ class NetworkStats:
     events_delivered: int = 0
     events_missed: int = 0
     duplicate_deliveries: int = 0
+    transport: Optional[TransportStats] = None
 
     @property
     def total_covering_checks(self) -> int:
@@ -84,6 +95,12 @@ class NetworkStats:
     @property
     def total_suppressed(self) -> int:
         return sum(stats.subscriptions_suppressed for stats in self.per_broker.values())
+
+    def transport_summary(self) -> Dict[str, float]:
+        """Flattened transport metrics (empty when no transport stats were attached)."""
+        if self.transport is None:
+            return {}
+        return self.transport.as_dict()
 
     def summary_rows(self) -> List[Dict[str, float]]:
         """Return one row per broker for tabular reporting."""

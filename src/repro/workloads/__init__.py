@@ -1,5 +1,14 @@
-"""Synthetic workload generators and application scenarios."""
+"""Synthetic workload generators, application scenarios and dynamic scripts."""
 
+from .dynamics import (
+    Action,
+    AuditEntry,
+    DynamicReport,
+    flash_crowd_script,
+    rolling_failures_script,
+    run_dynamic_scenario,
+    subscription_churn_script,
+)
 from .generators import (
     EventWorkload,
     SubscriptionSpec,
@@ -15,6 +24,13 @@ from .scenarios import (
 )
 
 __all__ = [
+    "Action",
+    "AuditEntry",
+    "DynamicReport",
+    "flash_crowd_script",
+    "rolling_failures_script",
+    "run_dynamic_scenario",
+    "subscription_churn_script",
     "EventWorkload",
     "SubscriptionSpec",
     "SubscriptionWorkload",

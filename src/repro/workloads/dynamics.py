@@ -1,0 +1,446 @@
+"""Dynamic (timed) workload scripts for the simulated broker network.
+
+The static scenarios in :mod:`repro.workloads.scenarios` say *what* the
+subscriptions and events look like; the scripts here say *when* things happen.
+Each builder turns a scenario into a time-ordered list of :class:`Action`
+objects — subscribe, unsubscribe, publish, crash, recover, join — that
+:func:`run_dynamic_scenario` schedules on a network's simulated transport:
+
+* :func:`flash_crowd_script` — a steady publish trickle followed by a burst
+  of simultaneous publishes (queues build, backpressure kicks in).
+* :func:`subscription_churn_script` — a storm of subscribe/unsubscribe flips
+  mid-run plus a broker joining late, probing the withdrawal re-forwarding
+  logic and join-time state announcement.
+* :func:`rolling_failures_script` — brokers crash and recover one after
+  another while traffic continues.
+
+Every subscription and event carries an explicit id and all randomness is
+seeded, so two runs of the same script over identically-seeded networks are
+byte-identical — the property the determinism tests pin down.
+
+Publishes marked ``audit=True`` snapshot the ground-truth recipient set (live,
+reachable subscribers) at publish time; the report compares it with what was
+actually delivered once the run drains.  Builders only mark publishes that
+happen after churn has stabilised, where the paper's safety claim must hold
+exactly: for surviving subscribers, no event published after stabilisation may
+be lost.  Stabilisation is a timing precondition, not something the runner can
+enforce: each builder's ``settle`` window must exceed the overlay's worst-case
+propagation time (diameter × per-hop delay); the defaults cover the shipped
+sub-second latency models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..pubsub.network import BrokerNetwork
+from ..pubsub.stats import NetworkStats
+from ..pubsub.subscription import Event, Subscription
+from .scenarios import Scenario
+
+__all__ = [
+    "Action",
+    "AuditEntry",
+    "DynamicReport",
+    "flash_crowd_script",
+    "subscription_churn_script",
+    "rolling_failures_script",
+    "run_dynamic_scenario",
+]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One timed step of a dynamic scenario."""
+
+    time: float
+    kind: str  # "subscribe" | "unsubscribe" | "publish" | "crash" | "recover" | "join"
+    broker_id: Optional[Hashable] = None
+    client_id: Optional[Hashable] = None
+    subscription: Optional[Subscription] = None
+    sub_id: Optional[Hashable] = None
+    event: Optional[Event] = None
+    attach_to: Optional[Hashable] = None
+    audit: bool = False
+
+
+@dataclass
+class AuditEntry:
+    """Ground truth vs. actual deliveries for one audited publish."""
+
+    event_id: Hashable
+    time: float
+    origin: Hashable
+    expected: Set[Hashable]
+    delivered: Set[Hashable] = field(default_factory=set)
+
+    @property
+    def missed(self) -> Set[Hashable]:
+        return self.expected - self.delivered
+
+    @property
+    def extra(self) -> Set[Hashable]:
+        return self.delivered - self.expected
+
+
+@dataclass
+class DynamicReport:
+    """Outcome of one dynamic scenario run."""
+
+    name: str
+    actions_run: int
+    actions_skipped: int
+    events_published: int
+    audited_events: int
+    audits: List[AuditEntry]
+    stats: NetworkStats
+
+    @property
+    def missed_deliveries(self) -> int:
+        return sum(len(entry.missed) for entry in self.audits)
+
+    @property
+    def extra_deliveries(self) -> int:
+        return sum(len(entry.extra) for entry in self.audits)
+
+    @property
+    def clean(self) -> bool:
+        """True when no audited publish lost a delivery."""
+        return self.missed_deliveries == 0
+
+    def summary_row(self) -> Dict[str, float]:
+        """One reporting row: audit outcome plus the transport's timing metrics."""
+        row: Dict[str, float] = {
+            "scenario": self.name,  # type: ignore[dict-item]
+            "events_published": self.events_published,
+            "audited_events": self.audited_events,
+            "missed_deliveries": self.missed_deliveries,
+            "extra_deliveries": self.extra_deliveries,
+        }
+        row.update(self.stats.transport_summary())
+        return row
+
+
+def _subscriptions_of(scenario: Scenario, prefix: str) -> List[Subscription]:
+    """Materialise the scenario's subscriptions with explicit, stable ids."""
+    return [
+        Subscription(scenario.schema, constraints, sub_id=f"{prefix}-sub-{i}")
+        for i, constraints in enumerate(scenario.subscriptions)
+    ]
+
+
+def _events_of(scenario: Scenario, prefix: str) -> List[Event]:
+    """Materialise the scenario's events with explicit, stable ids."""
+    return [
+        Event(scenario.schema, values, event_id=f"{prefix}-event-{i}")
+        for i, values in enumerate(scenario.events)
+    ]
+
+
+def flash_crowd_script(
+    scenario: Scenario,
+    broker_ids: Sequence[Hashable],
+    *,
+    subscribe_window: float = 5.0,
+    settle: float = 5.0,
+    trickle_interval: float = 1.0,
+    burst_fraction: float = 0.6,
+    seed: Optional[int] = 0,
+) -> List[Action]:
+    """Steady publishing, then a flash crowd: a burst of simultaneous events.
+
+    Subscriptions register over ``subscribe_window``; after ``settle`` the
+    first ``1 - burst_fraction`` of the scenario's events trickle out one per
+    ``trickle_interval``, and the rest are all published at the same instant
+    from brokers across the overlay — the moment bounded inboxes and
+    backpressure become visible.  Every publish is audited: the network is
+    failure-free here, so nothing may be lost even at burst depth.
+
+    The audit snapshot is ground truth only once subscription propagation has
+    quiesced, so ``settle`` must exceed the overlay's worst-case propagation
+    time — roughly diameter × (link latency + service time).  The default
+    (5.0) covers the shipped sub-second latency models on the stock
+    topologies; slower links or wider overlays need a larger ``settle``, or
+    the audit flags in-flight subscriptions as missed.
+    """
+    rng = random.Random(seed)
+    prefix = f"flash-{scenario.name}"
+    actions: List[Action] = []
+    for i, subscription in enumerate(_subscriptions_of(scenario, prefix)):
+        actions.append(
+            Action(
+                time=rng.uniform(0.0, subscribe_window),
+                kind="subscribe",
+                broker_id=rng.choice(list(broker_ids)),
+                client_id=f"{prefix}-client-{i}",
+                subscription=subscription,
+            )
+        )
+    events = _events_of(scenario, prefix)
+    burst_start = max(1, int(len(events) * (1.0 - burst_fraction)))
+    trickle, burst = events[:burst_start], events[burst_start:]
+    t = subscribe_window + settle
+    for event in trickle:
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(list(broker_ids)),
+                   event=event, audit=True)
+        )
+        t += trickle_interval
+    burst_at = t + settle
+    for event in burst:
+        actions.append(
+            Action(time=burst_at, kind="publish", broker_id=rng.choice(list(broker_ids)),
+                   event=event, audit=True)
+        )
+    return sorted(actions, key=lambda a: a.time)
+
+
+def subscription_churn_script(
+    scenario: Scenario,
+    broker_ids: Sequence[Hashable],
+    *,
+    subscribe_window: float = 5.0,
+    storm_start: float = 10.0,
+    storm_duration: float = 10.0,
+    settle: float = 5.0,
+    join_broker: Optional[Hashable] = None,
+    join_attach_to: Optional[Hashable] = None,
+    seed: Optional[int] = 0,
+) -> List[Action]:
+    """A subscription churn storm, optionally with a broker joining mid-run.
+
+    The first half of the scenario's subscriptions register up front.  During
+    the storm window the second half subscribes while the first half
+    unsubscribes, interleaved — the covering withdrawal path (re-forwarding
+    subscriptions whose cover disappeared) runs continuously.  When
+    ``join_broker`` is given, a new broker attaches mid-storm and receives a
+    share of the new subscribers.  Probe publishes during the storm are
+    unaudited (ground truth is ambiguous while subscriptions are in flight);
+    after the storm settles every remaining event is published and audited.
+    """
+    rng = random.Random(seed)
+    prefix = f"churn-{scenario.name}"
+    subscriptions = _subscriptions_of(scenario, prefix)
+    half = len(subscriptions) // 2
+    initial, storm_wave = subscriptions[:half], subscriptions[half:]
+    actions: List[Action] = []
+    for i, subscription in enumerate(initial):
+        actions.append(
+            Action(
+                time=rng.uniform(0.0, subscribe_window),
+                kind="subscribe",
+                broker_id=rng.choice(list(broker_ids)),
+                client_id=f"{prefix}-client-{i}",
+                subscription=subscription,
+            )
+        )
+    if join_broker is not None:
+        join_time = storm_start + storm_duration / 2.0
+        actions.append(
+            Action(time=join_time, kind="join", broker_id=join_broker,
+                   attach_to=join_attach_to if join_attach_to is not None else list(broker_ids)[0])
+        )
+    placement_pool = list(broker_ids)
+    for i, subscription in enumerate(storm_wave):
+        t = storm_start + storm_duration * (i + 0.5) / max(1, len(storm_wave))
+        if join_broker is not None and t > storm_start + storm_duration / 2.0 and rng.random() < 0.3:
+            target = join_broker
+        else:
+            target = rng.choice(placement_pool)
+        actions.append(
+            Action(time=t, kind="subscribe", broker_id=target,
+                   client_id=f"{prefix}-client-{half + i}", subscription=subscription)
+        )
+    for i, subscription in enumerate(initial):
+        t = storm_start + storm_duration * (i + 0.5) / max(1, len(initial))
+        actions.append(
+            Action(time=t, kind="unsubscribe", client_id=f"{prefix}-client-{i}",
+                   sub_id=subscription.sub_id)
+        )
+    events = _events_of(scenario, prefix)
+    probes = events[: len(events) // 4]
+    audited = events[len(events) // 4:]
+    for i, event in enumerate(probes):
+        t = storm_start + storm_duration * (i + 0.5) / max(1, len(probes))
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(placement_pool), event=event)
+        )
+    t = storm_start + storm_duration + settle
+    for event in audited:
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(placement_pool),
+                   event=event, audit=True)
+        )
+        t += 0.5
+    return sorted(actions, key=lambda a: a.time)
+
+
+def rolling_failures_script(
+    scenario: Scenario,
+    broker_ids: Sequence[Hashable],
+    crash_ids: Sequence[Hashable],
+    *,
+    subscribe_window: float = 5.0,
+    settle: float = 5.0,
+    downtime: float = 4.0,
+    gap: float = 8.0,
+    seed: Optional[int] = 0,
+) -> List[Action]:
+    """Brokers crash and recover one after another while traffic continues.
+
+    Subscriptions register up front; then each broker in ``crash_ids`` goes
+    down for ``downtime`` and recovers, ``gap`` apart.  Publishes during a
+    downtime window originate at never-crashed brokers and are *audited
+    against the survivors reachable at publish time* — the paper's safety
+    claim restricted to the partition the publisher can see.  After the last
+    recovery settles, the remaining events are published and audited against
+    the full (healed) network.
+    """
+    rng = random.Random(seed)
+    prefix = f"rolling-{scenario.name}"
+    safe_brokers = [b for b in broker_ids if b not in set(crash_ids)]
+    if not safe_brokers:
+        raise ValueError("rolling_failures_script needs at least one never-crashed broker")
+    actions: List[Action] = []
+    for i, subscription in enumerate(_subscriptions_of(scenario, prefix)):
+        actions.append(
+            Action(
+                time=rng.uniform(0.0, subscribe_window),
+                kind="subscribe",
+                broker_id=rng.choice(list(broker_ids)),
+                client_id=f"{prefix}-client-{i}",
+                subscription=subscription,
+            )
+        )
+    events = _events_of(scenario, prefix)
+    downtime_probes = events[: len(events) // 2]
+    healed_probes = events[len(events) // 2:]
+    probe_iter = iter(downtime_probes)
+    t = subscribe_window + settle
+    for crash_id in crash_ids:
+        actions.append(Action(time=t, kind="crash", broker_id=crash_id))
+        # Publishes while the broker is down: audited against reachable
+        # survivors.  Deliveries may exceed the snapshot (an event still in
+        # flight at recovery time can reach the revived broker's subscribers
+        # via the resynced routes) — that surfaces as ``extra``, never as a
+        # loss for survivors.
+        for k in range(2):
+            event = next(probe_iter, None)
+            if event is not None:
+                actions.append(
+                    Action(time=t + downtime * (k + 1) / 3.0, kind="publish",
+                           broker_id=rng.choice(safe_brokers), event=event, audit=True)
+                )
+        actions.append(Action(time=t + downtime, kind="recover", broker_id=crash_id))
+        t += downtime + gap
+    t += settle
+    for event in healed_probes:
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(list(broker_ids)),
+                   event=event, audit=True)
+        )
+        t += 0.5
+    return sorted(actions, key=lambda a: a.time)
+
+
+def run_dynamic_scenario(
+    network: BrokerNetwork, actions: Sequence[Action], name: str = "dynamic"
+) -> DynamicReport:
+    """Schedule ``actions`` on the network's simulated transport and drain it.
+
+    Requires a transport with a kernel (:class:`~repro.sim.transport.SimTransport`).
+    Action times are interpreted relative to the kernel's current time, so
+    scenarios compose: a second script can run on the same network once the
+    first has drained.
+    Audited publishes snapshot the ground truth — live subscribers reachable
+    from the publishing broker — at publish time; once the kernel drains, the
+    report pairs each snapshot with the deliveries that actually happened.
+    Actions targeting a broker that is down when they fire are counted as
+    skipped rather than crashing the run (scripts avoid this by construction,
+    but a hand-written script may race its own churn).
+    """
+    kernel = getattr(network.transport, "kernel", None)
+    if kernel is None:
+        raise ValueError(
+            "run_dynamic_scenario needs a kernel-backed transport (SimTransport); "
+            f"got {type(network.transport).__name__}"
+        )
+    audits: List[AuditEntry] = []
+    counters = {"run": 0, "skipped": 0, "published": 0}
+    delivery_start = len(network.deliveries)
+
+    def _usable(broker_id) -> bool:
+        # A broker that was never registered (e.g. the target of a join that
+        # was itself skipped) is just as unusable as a crashed one.
+        return broker_id in network.brokers and network.transport.is_up(broker_id)
+
+    def _is_skippable(action: Action) -> bool:
+        """True when the action targets a broker that is down or missing right now."""
+        if action.kind in ("subscribe", "publish"):
+            return not _usable(action.broker_id)
+        if action.kind == "unsubscribe":
+            home = network.client_home(action.client_id)
+            return home is not None and not network.transport.is_up(home)
+        if action.kind == "join":
+            return action.broker_id in network.brokers or not _usable(action.attach_to)
+        if action.kind == "crash":
+            return not _usable(action.broker_id)
+        if action.kind == "recover":
+            return action.broker_id not in network.brokers or network.transport.is_up(
+                action.broker_id
+            )
+        return False
+
+    def execute(action: Action) -> None:
+        if _is_skippable(action):
+            counters["skipped"] += 1
+            return
+        counters["run"] += 1
+        if action.kind == "subscribe":
+            network.subscribe(action.broker_id, action.client_id, action.subscription)
+        elif action.kind == "unsubscribe":
+            network.unsubscribe(action.client_id, action.sub_id)
+        elif action.kind == "publish":
+            counters["published"] += 1
+            if action.audit:
+                audits.append(
+                    AuditEntry(
+                        event_id=action.event.event_id,
+                        time=kernel.now,
+                        origin=action.broker_id,
+                        expected=network.expected_recipients(action.event, origin=action.broker_id),
+                    )
+                )
+            network.publish_async(action.broker_id, action.event)
+        elif action.kind == "crash":
+            network.crash_broker(action.broker_id)
+        elif action.kind == "recover":
+            network.recover_broker(action.broker_id)
+        elif action.kind == "join":
+            network.join_broker(action.broker_id, action.attach_to)
+        else:
+            raise ValueError(f"unknown action kind {action.kind!r}")
+
+    # Action times are relative to the scenario start, so a second scenario
+    # can run on the same network after the first has drained.
+    start = kernel.now
+    for action in actions:
+        kernel.schedule_at(start + action.time, lambda action=action: execute(action))
+    network.flush()
+
+    delivered_by_event: Dict[Hashable, Set[Hashable]] = {}
+    for record in network.deliveries[delivery_start:]:
+        delivered_by_event.setdefault(record.event_id, set()).add(record.client_id)
+    for entry in audits:
+        entry.delivered = delivered_by_event.get(entry.event_id, set())
+    return DynamicReport(
+        name=name,
+        actions_run=counters["run"],
+        actions_skipped=counters["skipped"],
+        events_published=counters["published"],
+        audited_events=len(audits),
+        audits=audits,
+        stats=network.collect_stats(),
+    )

@@ -68,9 +68,17 @@ class TestLemma32:
 
 class TestLemma37AndTheorem31:
     def test_bound_formula(self):
-        # m · [2^α (2^m − 1)]^{d−1}
-        assert lemma37_cube_bound(2, 0, 3) == 3 * 7
-        assert lemma37_cube_bound(3, 1, 2) == 2 * (2 * 3) ** 2
+        # d · m · [2^α (2^m − 1)]^{d−1}
+        assert lemma37_cube_bound(2, 0, 3) == 2 * 3 * 7
+        assert lemma37_cube_bound(3, 1, 2) == 3 * 2 * (2 * 3) ** 2
+
+    def test_bound_covers_the_d3_m2_corner(self):
+        # Regression: the scaled all-ones region 3×3×3 partitions into 20
+        # standard cubes; a bound without the dimension factor claims 18.
+        universe = Universe(3, 2)
+        region = ExtremalRectangle(universe, (3, 3, 3))
+        assert count_cubes_extremal(region) == 20
+        assert lemma37_cube_bound(3, 0, 2) >= 20
 
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
@@ -94,7 +102,7 @@ class TestLemma37AndTheorem31:
     @settings(max_examples=25, deadline=None)
     @given(data=st.data())
     def test_truncated_cube_count_within_bound(self, data):
-        """cubes(R^m(ℓ)) ≤ m·[2^α(2^m−1)]^{d−1} (Lemma 3.7) on random regions."""
+        """cubes(R^m(ℓ)) ≤ d·m·[2^α(2^m−1)]^{d−1} (Lemma 3.7) on random regions."""
         dims = data.draw(st.integers(2, 3))
         order = data.draw(st.integers(4, 8))
         universe = Universe(dims, order)

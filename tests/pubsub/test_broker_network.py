@@ -43,9 +43,17 @@ class TestTopologyHelpers:
     def test_star(self):
         assert star_topology(4) == [(0, 1), (0, 2), (0, 3)]
 
-    def test_tree_requires_positive(self):
+    @pytest.mark.parametrize("builder", [tree_topology, chain_topology, star_topology])
+    @pytest.mark.parametrize("num_brokers", [0, -3])
+    def test_builders_require_positive_brokers(self, builder, num_brokers):
+        # All three builders validate consistently: a non-positive broker
+        # count raises instead of silently returning an empty edge list.
         with pytest.raises(ValueError):
-            tree_topology(0)
+            builder(num_brokers)
+
+    @pytest.mark.parametrize("builder", [tree_topology, chain_topology, star_topology])
+    def test_single_broker_topology_has_no_edges(self, builder):
+        assert builder(1) == []
 
 
 class TestNetworkConstruction:
@@ -238,6 +246,68 @@ class TestEventDelivery:
             network.publish("nope", Event(schema, {"x": 1.0, "y": 1.0}))
         with pytest.raises(ValueError):
             network.subscribe("nope", "c", Subscription(schema, {}))
+
+
+class TestPublishBatchRegression:
+    """publish_batch must be observationally identical to sequential publish."""
+
+    def _populate(self, network, rng):
+        for i in range(25):
+            lo_x, lo_y = rng.uniform(0, 60), rng.uniform(0, 60)
+            sub = Subscription(
+                schema=network.schema,
+                constraints={
+                    "x": (lo_x, lo_x + rng.uniform(5, 35)),
+                    "y": (lo_y, lo_y + rng.uniform(5, 35)),
+                },
+                sub_id=f"s{i}",
+            )
+            network.subscribe(rng.randrange(7), f"client-{i}", sub)
+
+    def _events(self, schema, rng):
+        return [
+            Event(
+                schema,
+                {"x": rng.uniform(0, 100), "y": rng.uniform(0, 100)},
+                event_id=f"e{j}",
+            )
+            for j in range(15)
+        ]
+
+    @pytest.mark.parametrize("matching", ["linear", "sfc"])
+    def test_batch_matches_sequential_deliveries_and_stats(self, schema, matching):
+        def build():
+            return BrokerNetwork.from_topology(
+                schema,
+                tree_topology(7),
+                covering="approximate",
+                epsilon=0.2,
+                cube_budget=20_000,
+                matching=matching,
+                seed=5,
+            )
+
+        rng = random.Random(17)
+        batch_net = build()
+        self._populate(batch_net, rng)
+        events_rng = random.Random(23)
+        batch_results = batch_net.publish_batch(3, self._events(schema, events_rng))
+
+        rng = random.Random(17)
+        seq_net = build()
+        self._populate(seq_net, rng)
+        events_rng = random.Random(23)
+        seq_results = [seq_net.publish(3, e) for e in self._events(schema, events_rng)]
+
+        # Per-event delivery sets, the raw delivery log, message counters and
+        # every per-broker stat must be identical.
+        assert batch_results == seq_results
+        assert batch_net.deliveries == seq_net.deliveries
+        assert batch_net.event_messages == seq_net.event_messages
+        assert batch_net.subscription_messages == seq_net.subscription_messages
+        batch_stats = batch_net.collect_stats()
+        seq_stats = seq_net.collect_stats()
+        assert batch_stats.summary_rows() == seq_stats.summary_rows()
 
 
 class TestClients:

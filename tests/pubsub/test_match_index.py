@@ -359,7 +359,7 @@ class TestNetworkSfcMatching:
         # the duplicate arrive.  It is forwarded — and must leave the
         # suppressed set as it goes.
         broker0._forwarded[1].remove("wide")
-        broker0._forwarded_ids[1].discard("wide")
+        broker0._forwarded_ids[1].pop("wide", None)
         broker0.receive_subscription("__local__", narrow)
         assert broker0.has_forwarded(1, "narrow")
         assert "narrow" not in broker0._suppressed[1]
