@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 test suite plus a tiny-size smoke pass of the pub/sub benchmarks so
 # the benchmark drivers cannot silently rot between full benchmark runs.
+#
+# Hypothesis effort is profile-driven (tests/conftest.py): the tier-1 pass
+# digs deep with the "ci" profile; export HYPOTHESIS_PROFILE=smoke for a
+# near-instant property-test pass during quick local loops.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
-echo "== tier-1 tests =="
-python -m pytest -x -q tests
+echo "== tier-1 tests (hypothesis profile: ${HYPOTHESIS_PROFILE:-ci}) =="
+HYPOTHESIS_PROFILE="${HYPOTHESIS_PROFILE:-ci}" python -m pytest -x -q tests
 
 echo "== benchmark smoke (tiny sizes) =="
+# bench_subscription_churn's smoke pass *asserts* the batch subscribe/withdraw
+# APIs leave byte-identical routing state to a sequential replay — any
+# divergence fails CI here.
 REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_pubsub_propagation.py \
     benchmarks/bench_event_matching.py \
+    benchmarks/bench_subscription_churn.py \
     benchmarks/bench_sim_latency.py
 
 echo "== example smoke (tiny sizes) =="

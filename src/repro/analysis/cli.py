@@ -22,6 +22,18 @@ from . import experiments
 
 __all__ = ["main", "EXPERIMENTS"]
 
+
+def _churn_cli_sized() -> object:
+    """E-SUB-CHURN: batched subscription churn vs the per-subscription baseline (CLI-sized)."""
+    return experiments.run_subscription_churn_experiment(
+        sizes=(1_500,),
+        audit_size=800,
+        audit_events=10,
+        max_cover_withdrawals=20,
+        narrow_withdrawals=60,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "fig1": experiments.run_fig1_experiment,
     "fig2": experiments.run_fig2_experiment,
@@ -31,6 +43,9 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "cost": experiments.run_approx_vs_exhaustive_experiment,
     "recall": experiments.run_recall_experiment,
     "pubsub": experiments.run_pubsub_experiment,
+    # The full 10k-50k churn measurement lives in
+    # benchmarks/bench_subscription_churn.py.
+    "churn": _churn_cli_sized,
     "dimensionality": experiments.run_dimensionality_experiment,
     "throughput": experiments.run_throughput_experiment,
 }

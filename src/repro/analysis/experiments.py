@@ -55,6 +55,7 @@ __all__ = [
     "run_recall_experiment",
     "run_pubsub_experiment",
     "run_sim_latency_experiment",
+    "run_subscription_churn_experiment",
     "run_event_matching_experiment",
     "run_dimensionality_experiment",
     "run_throughput_experiment",
@@ -440,6 +441,25 @@ def _default_schema(order: int) -> AttributeSchema:
     )
 
 
+def _spec_subscription(schema: AttributeSchema, spec: "SubscriptionSpec") -> Subscription:
+    """Materialise one workload spec as a Subscription on ``schema``."""
+    constraints = {
+        name: (
+            schema.dequantize_value(name, lo),
+            schema.dequantize_value(name, hi),
+        )
+        for name, (lo, hi) in zip(schema.names, spec.ranges)
+    }
+    return Subscription(schema, constraints, sub_id=spec.sub_id)
+
+
+def _spec_subscriptions(
+    schema: AttributeSchema, specs: Sequence["SubscriptionSpec"]
+) -> List[Subscription]:
+    """Materialise workload specs as Subscription objects on ``schema``."""
+    return [_spec_subscription(schema, spec) for spec in specs]
+
+
 def run_pubsub_experiment(
     num_brokers: int = 7,
     num_subscriptions: int = 150,
@@ -493,14 +513,7 @@ def run_pubsub_experiment(
         )
         start = time.perf_counter()
         for spec, broker_id in zip(specs, placements):
-            constraints = {
-                name: (
-                    schema.dequantize_value(name, lo),
-                    schema.dequantize_value(name, hi),
-                )
-                for name, (lo, hi) in zip(schema.names, spec.ranges)
-            }
-            subscription = Subscription(schema, constraints, sub_id=spec.sub_id)
+            subscription = _spec_subscription(schema, spec)
             network.subscribe(broker_id, f"client-{spec.sub_id}", subscription)
         propagation_time = time.perf_counter() - start
 
@@ -533,6 +546,221 @@ def run_pubsub_experiment(
 
 
 # --------------------------------------------------------------------- event matching
+def run_subscription_churn_experiment(
+    sizes: Sequence[int] = (10_000, 50_000),
+    num_brokers: int = 15,
+    order: int = 8,
+    epsilon: float = 0.3,
+    cube_budget: int = 200,
+    wide_fraction: float = 0.04,
+    max_cover_withdrawals: int = 40,
+    narrow_withdrawals: int = 200,
+    audit_size: Optional[int] = None,
+    audit_events: int = 25,
+    topologies: Sequence[str] = ("tree", "chain", "star"),
+    transports: Sequence[str] = ("sync", "sim"),
+    seed: int = 11,
+    verify_state: bool = False,
+) -> ResultTable:
+    """E-SUB-CHURN: batched subscription churn vs the per-subscription baseline.
+
+    Two row kinds:
+
+    * ``phase="churn"`` — for each size, the same wide/narrow workload is
+      subscribed and then partially withdrawn (a slice of broad covers plus a
+      slice of narrow subscriptions, so the withdrawal-promotion path runs
+      hard; ``max_cover_withdrawals`` bounds the *baseline's* rescan blow-up,
+      which is quadratic in practice — 300 cover withdrawals at 50k
+      subscriptions put the legacy engine beyond an hour) on
+      a broker tree, once through the legacy per-subscription path
+      (``promotion="rescan"``, ``profile_sharing=False`` — the pre-fast-path
+      broker, which re-derives each covering query's geometry per link and
+      re-checks the whole suppressed set per withdrawal) and once through
+      ``subscribe_batch`` / ``unsubscribe_batch`` with profile sharing and
+      incremental promotion.  The row reports both phase timings and the
+      combined speedup.
+    * ``phase="audit"`` — the fast path's post-churn delivery audit on every
+      (topology × transport) pair: after the batch churn settles, probe
+      events published across the overlay must reach exactly the surviving
+      matching subscribers (``missed`` must be 0 everywhere; the fast path
+      may only ever *suppress more*, never lose).
+
+    With ``verify_state=True`` (the CI smoke pass) every churn comparison
+    additionally replays the batch workload through sequential
+    ``subscribe`` / ``unsubscribe`` calls under identical flags and asserts
+    the two runs leave byte-identical normalised routing state — the batch
+    API is pinned to be a pure amortisation.
+    """
+    import random as _random
+
+    from ..sim.latency import make_latency_model
+    from ..sim.transport import SimTransport
+
+    topology_builders = {
+        "tree": tree_topology,
+        "chain": chain_topology,
+        "star": star_topology,
+    }
+    table = ResultTable("E-SUB-CHURN: subscription churn, batch fast path vs baseline")
+    schema = _default_schema(order)
+
+    def build_workload(size: int):
+        specs = _mixed_width_workload(
+            attributes=2,
+            order=order,
+            count=size,
+            narrow_fraction=1.0 - wide_fraction,
+            narrow_width=0.04,
+            wide_width=0.4,
+            seed=seed,
+            prefix=f"churn-{size}",
+        )
+        subscriptions = _spec_subscriptions(schema, specs)
+        rng = _random.Random(seed + 1)
+        placement = {
+            sub.sub_id: rng.randrange(num_brokers) for sub in subscriptions
+        }
+        # Per-broker batches in arrival order; the sequential baseline replays
+        # the same flattened order so covering decisions see identical
+        # arrival sequences.
+        batches: Dict[int, List[Tuple[str, Subscription]]] = {}
+        for sub in subscriptions:
+            batches.setdefault(placement[sub.sub_id], []).append(
+                (f"client-{sub.sub_id}", sub)
+            )
+        wides = [s for s in subscriptions if "-wide-" in str(s.sub_id)]
+        narrows = [s for s in subscriptions if "-narrow-" in str(s.sub_id)]
+        withdrawals = wides[:max_cover_withdrawals] + narrows[:narrow_withdrawals]
+        # Group withdrawals by home broker (batch processing order) so the
+        # sequential replay withdraws in the same per-link order.
+        kill_groups: Dict[int, List[Tuple[str, str]]] = {}
+        for sub in withdrawals:
+            kill_groups.setdefault(placement[sub.sub_id], []).append(
+                (f"client-{sub.sub_id}", sub.sub_id)
+            )
+        kills = [pair for group in kill_groups.values() for pair in group]
+        return batches, kills
+
+    def make_network(topology: str, transport: str, promotion: str, sharing: bool):
+        if transport == "sim":
+            transport_obj = SimTransport(
+                make_latency_model("fixed", delay=0.01), seed=seed
+            )
+        else:
+            transport_obj = None
+        return BrokerNetwork.from_topology(
+            schema,
+            topology_builders[topology](num_brokers),
+            covering="approximate",
+            epsilon=epsilon,
+            cube_budget=cube_budget,
+            promotion=promotion,
+            profile_sharing=sharing,
+            transport=transport_obj,
+        )
+
+    def run_batch(network: BrokerNetwork, batches, kills):
+        start = time.perf_counter()
+        for broker_id, items in batches.items():
+            network.subscribe_batch(broker_id, items)
+        subscribe_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        network.unsubscribe_batch(kills)
+        withdraw_seconds = time.perf_counter() - start
+        return subscribe_seconds, withdraw_seconds
+
+    def run_sequential(network: BrokerNetwork, batches, kills):
+        start = time.perf_counter()
+        for broker_id, items in batches.items():
+            for client_id, subscription in items:
+                network.subscribe(broker_id, client_id, subscription)
+        network.flush()
+        subscribe_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for client_id, sub_id in kills:
+            network.unsubscribe(client_id, sub_id)
+        network.flush()
+        withdraw_seconds = time.perf_counter() - start
+        return subscribe_seconds, withdraw_seconds
+
+    # ------------------------------------------------------- churn comparison
+    for size in sizes:
+        batches, kills = build_workload(size)
+        legacy = make_network("tree", "sync", promotion="rescan", sharing=False)
+        legacy_subscribe, legacy_withdraw = run_sequential(legacy, batches, kills)
+        fast = make_network("tree", "sync", promotion="incremental", sharing=True)
+        fast_subscribe, fast_withdraw = run_batch(fast, batches, kills)
+        if verify_state:
+            replay = make_network("tree", "sync", promotion="incremental", sharing=True)
+            run_sequential(replay, batches, kills)
+            if replay.routing_state() != fast.routing_state():
+                raise AssertionError(
+                    "batch subscribe/withdraw diverged from sequential replay "
+                    f"at size {size}"
+                )
+        stats = fast.collect_stats()
+        legacy_total = legacy_subscribe + legacy_withdraw
+        fast_total = fast_subscribe + fast_withdraw
+        table.add(
+            phase="churn",
+            subscriptions=size,
+            topology="tree",
+            transport="sync",
+            withdrawals=len(kills),
+            legacy_subscribe_s=round(legacy_subscribe, 3),
+            legacy_withdraw_s=round(legacy_withdraw, 3),
+            fast_subscribe_s=round(fast_subscribe, 3),
+            fast_withdraw_s=round(fast_withdraw, 3),
+            speedup=round(legacy_total / fast_total, 2) if fast_total else 0.0,
+            withdraw_speedup=(
+                round(legacy_withdraw / fast_withdraw, 2) if fast_withdraw else 0.0
+            ),
+            promotions=stats.total_promotions,
+            batch_covering_checks=stats.total_batch_covering_checks,
+            profile_cache_hits=stats.profile_cache_hits,
+            profile_cache_misses=stats.profile_cache_misses,
+        )
+
+    # ------------------------------------------------------------ audit matrix
+    matrix_size = audit_size if audit_size is not None else min(sizes)
+    batches, kills = build_workload(matrix_size)
+    event_workload = EventWorkload(attributes=2, attribute_order=order, seed=seed + 3)
+    events = [
+        Event(
+            schema,
+            {
+                name: schema.dequantize_value(name, cell)
+                for name, cell in zip(schema.names, cells)
+            },
+            event_id=f"audit-{i}",
+        )
+        for i, cells in enumerate(event_workload.generate(audit_events))
+    ]
+    rng = _random.Random(seed + 4)
+    for topology in topologies:
+        for transport in transports:
+            network = make_network(topology, transport, "incremental", True)
+            run_batch(network, batches, kills)
+            missed_total = extra_total = 0
+            for event in events:
+                missed, extra = network.publish_and_audit(
+                    rng.randrange(num_brokers), event
+                )
+                missed_total += len(missed)
+                extra_total += len(extra)
+            table.add(
+                phase="audit",
+                subscriptions=matrix_size,
+                topology=topology,
+                transport=transport,
+                withdrawals=len(kills),
+                missed=missed_total,
+                extra=extra_total,
+                promotions=network.collect_stats().total_promotions,
+            )
+    return table
+
+
 def run_event_matching_experiment(
     table_sizes: Sequence[int] = (100, 1_000),
     num_events: int = 400,
@@ -581,16 +809,7 @@ def run_event_matching_experiment(
         sfc = InterfaceTable(
             "bench", schema=schema, matching="sfc", backend=backend, run_budget=run_budget
         )
-        subscriptions = []
-        for spec in specs:
-            constraints = {
-                name: (
-                    schema.dequantize_value(name, lo),
-                    schema.dequantize_value(name, hi),
-                )
-                for name, (lo, hi) in zip(schema.names, spec.ranges)
-            }
-            subscriptions.append(Subscription(schema, constraints, sub_id=spec.sub_id))
+        subscriptions = _spec_subscriptions(schema, specs)
         for subscription in subscriptions:
             linear.add(subscription)
         build_start = time.perf_counter()

@@ -32,7 +32,13 @@ def format_table(
     if not rows:
         return f"{title or 'table'}: (no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        # Union of all rows' keys in first-seen order, so tables mixing row
+        # shapes (e.g. measurement rows + audit rows) lose no columns.
+        seen = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
     rendered: List[List[str]] = [[str(c) for c in columns]]
     for row in rows:
         rendered.append([_format_value(row.get(c, ""), precision) for c in columns])

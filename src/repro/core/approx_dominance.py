@@ -27,17 +27,24 @@ callers from accidentally launching an astronomically large exhaustive probe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry.rect import ExtremalRectangle
 from ..geometry.universe import Universe
 from ..index.sfc_array import SFCArray, StoredItem
-from ..sfc.base import SpaceFillingCurve
+from ..sfc.base import KeyRange, SpaceFillingCurve
 from ..sfc.runs import merge_key_ranges
 from ..sfc.zorder import ZOrderCurve
 from .decomposition import cubes_in_class, level_census, zorder_key_ranges_in_class
 
-__all__ = ["ApproximateDominanceIndex", "DominanceQueryResult", "TerminationReason"]
+__all__ = [
+    "ApproximateDominanceIndex",
+    "DominanceQueryResult",
+    "TerminationReason",
+    "DominancePlan",
+    "PlanStep",
+    "build_dominance_plan",
+]
 
 
 class TerminationReason:
@@ -97,6 +104,183 @@ class DominanceQueryResult:
         if self.region_volume == 0:
             return 1.0
         return self.searched_volume / self.region_volume
+
+
+@dataclass
+class PlanStep:
+    """One probe batch of a :class:`DominancePlan`.
+
+    ``ranges`` are the (merged) key ranges to probe, in search order; the
+    remaining fields are *cumulative* accounting snapshots taken after the
+    batch's cubes were enumerated, so executing a plan reproduces the exact
+    counters of the interleaved search.  ``stop`` carries a termination
+    reason when the search must end after this batch even without a witness
+    (cube budget or coverage target hit mid-class).
+    """
+
+    ranges: Tuple[KeyRange, ...]
+    cubes: int
+    volume: int
+    classes: int
+    stop: Optional[str] = None
+
+
+class DominancePlan:
+    """The reusable half of a dominance query: its probe schedule.
+
+    Decomposing the query's dominance region into standard cubes and merging
+    their key runs depends only on the query point, the universe, ε and the
+    cube budget — not on the index contents.  A plan captures that schedule
+    once so that the same query point can be probed against many indexes
+    (one covering strategy per broker link) without re-running the
+    decomposition each time.
+
+    Steps are materialised lazily: the underlying enumeration is pulled only
+    as far as an execution needs it, so a query that finds a witness in the
+    first batch pays no more decomposition work than the interleaved search
+    would — and later executions reuse the already-materialised prefix.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        point: Tuple[int, ...],
+        epsilon: float,
+        cube_budget: int,
+        region_volume: int,
+        aspect_ratio: int,
+        producer: Iterator[PlanStep],
+    ) -> None:
+        self.universe = universe
+        self.point = point
+        self.epsilon = epsilon
+        self.cube_budget = cube_budget
+        self.region_volume = region_volume
+        self.aspect_ratio = aspect_ratio
+        self._steps: List[PlanStep] = []
+        self._producer: Optional[Iterator[PlanStep]] = producer
+        #: Termination reason when an execution exhausts every step without a
+        #: witness and no step carried an explicit ``stop``.  Set by the
+        #: producer when it runs dry.
+        self.final_termination: str = TerminationReason.REGION_EXHAUSTED
+
+    def steps(self) -> Iterator[PlanStep]:
+        """Yield the plan's probe batches, materialising them on demand."""
+        index = 0
+        while True:
+            while index < len(self._steps):
+                yield self._steps[index]
+                index += 1
+            if self._producer is None:
+                return
+            try:
+                step = next(self._producer)
+            except StopIteration:
+                self._producer = None
+                return
+            self._steps.append(step)
+
+    def materialised_steps(self) -> int:
+        """Number of probe batches enumerated so far (test/benchmark hook)."""
+        return len(self._steps)
+
+
+def build_dominance_plan(
+    universe: Universe,
+    point: Sequence[int],
+    *,
+    epsilon: float,
+    cube_budget: int,
+    curve: Optional[SpaceFillingCurve] = None,
+    merge_adjacent_runs: bool = True,
+) -> DominancePlan:
+    """Build the probe schedule of an ε-approximate dominance query.
+
+    The schedule is exactly the one :meth:`ApproximateDominanceIndex.query`
+    follows — same class order, same batch boundaries, same budget and
+    coverage cut-offs — so executing the plan returns the identical witness
+    and termination the interleaved search would.
+    """
+    if not 0 <= epsilon < 1:
+        raise ValueError(f"epsilon must lie in [0, 1), got {epsilon}")
+    if cube_budget <= 0:
+        raise ValueError(f"cube_budget must be positive, got {cube_budget}")
+    if curve is None:
+        curve = ZOrderCurve(universe)
+    region = ExtremalRectangle.from_query_point(universe, point)
+    region_volume = region.volume
+    target_volume = (1.0 - epsilon) * region_volume
+    batch_limit = 64
+
+    plan = DominancePlan(
+        universe=universe,
+        point=tuple(int(x) for x in point),
+        epsilon=epsilon,
+        cube_budget=cube_budget,
+        region_volume=region_volume,
+        aspect_ratio=region.aspect_ratio,
+        producer=iter(()),  # replaced below; needs `plan` in scope
+    )
+
+    def produce() -> Iterator[PlanStep]:
+        searched = 0
+        cubes = 0
+        classes_examined = 0
+        for level_class in level_census(region):
+            if searched >= target_volume and epsilon > 0:
+                plan.final_termination = TerminationReason.COVERAGE_REACHED
+                return
+            classes_examined += 1
+            cube_volume = level_class.cube_volume
+            if isinstance(curve, ZOrderCurve):
+                key_ranges = zorder_key_ranges_in_class(region, level_class.bit_index)
+            else:
+                key_ranges = (
+                    curve.cube_key_range(cube)
+                    for cube in cubes_in_class(region, level_class.bit_index)
+                )
+            pending: List[KeyRange] = []
+            stop: Optional[str] = None
+            for key_range in key_ranges:
+                if cubes >= cube_budget:
+                    stop = TerminationReason.CUBE_BUDGET
+                    break
+                cubes += 1
+                searched += cube_volume
+                pending.append(key_range)
+                if len(pending) >= batch_limit:
+                    yield PlanStep(
+                        ranges=tuple(
+                            merge_key_ranges(pending)
+                            if merge_adjacent_runs
+                            else pending
+                        ),
+                        cubes=cubes,
+                        volume=searched,
+                        classes=classes_examined,
+                    )
+                    pending.clear()
+                if epsilon > 0 and searched >= target_volume:
+                    stop = TerminationReason.COVERAGE_REACHED
+                    break
+            if pending or stop is not None:
+                yield PlanStep(
+                    ranges=tuple(
+                        merge_key_ranges(pending) if merge_adjacent_runs else pending
+                    ),
+                    cubes=cubes,
+                    volume=searched,
+                    classes=classes_examined,
+                    stop=stop,
+                )
+            if stop is not None:
+                plan.final_termination = stop
+                return
+        if searched >= target_volume and epsilon > 0:
+            plan.final_termination = TerminationReason.COVERAGE_REACHED
+
+    plan._producer = produce()
+    return plan
 
 
 @dataclass
@@ -188,6 +372,65 @@ class ApproximateDominanceIndex:
     ) -> Optional[StoredItem]:
         """Convenience wrapper returning only the witness item (or ``None``)."""
         return self.query(point, epsilon=epsilon).item
+
+    # ------------------------------------------------------------------ plans
+    def plan(self, point: Sequence[int], epsilon: Optional[float] = None) -> DominancePlan:
+        """Build a reusable probe schedule for ``point`` (see :class:`DominancePlan`)."""
+        eps = self.epsilon if epsilon is None else epsilon
+        return build_dominance_plan(
+            self.universe,
+            point,
+            epsilon=eps,
+            cube_budget=self.cube_budget,
+            curve=self.curve,
+            merge_adjacent_runs=self.merge_adjacent_runs,
+        )
+
+    def execute_plan(self, plan: DominancePlan) -> DominanceQueryResult:
+        """Probe this index along a prebuilt plan.
+
+        Returns exactly what :meth:`query` would for the plan's point and ε:
+        the plan replays the same probe order, batch boundaries and budget /
+        coverage cut-offs, only the decomposition work is skipped.  The plan
+        must have been built for this index's universe.
+        """
+        if plan.universe != self.universe:
+            raise ValueError("plan universe does not match the index universe")
+        runs_probed = 0
+        cubes = 0
+        volume = 0
+        classes = 0
+        witness: Optional[StoredItem] = None
+        termination: Optional[str] = None
+        for step in plan.steps():
+            cubes = step.cubes
+            volume = step.volume
+            classes = step.classes
+            for key_range in step.ranges:
+                runs_probed += 1
+                hit = self.array.first_in_key_range(key_range)
+                if hit is not None:
+                    witness = hit
+                    termination = TerminationReason.FOUND
+                    break
+            if witness is not None:
+                break
+            if step.stop is not None:
+                termination = step.stop
+                break
+        if termination is None:
+            termination = plan.final_termination
+        return DominanceQueryResult(
+            item=witness,
+            epsilon=plan.epsilon,
+            region_volume=plan.region_volume,
+            searched_volume=volume,
+            runs_probed=runs_probed,
+            cubes_examined=cubes,
+            classes_examined=classes,
+            aspect_ratio=plan.aspect_ratio,
+            termination=termination,
+        )
 
     # -------------------------------------------------------------- internals
     def _search_region(self, region: ExtremalRectangle, epsilon: float) -> DominanceQueryResult:

@@ -25,9 +25,20 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..geometry.transform import DominanceTransform, Range
-from .approx_dominance import ApproximateDominanceIndex, DominanceQueryResult
+from ..sfc.zorder import ZOrderCurve
+from .approx_dominance import (
+    ApproximateDominanceIndex,
+    DominanceQueryResult,
+    DominancePlan,
+    build_dominance_plan,
+)
 
-__all__ = ["ApproximateCoveringDetector", "CoveringResult"]
+__all__ = [
+    "ApproximateCoveringDetector",
+    "CoveringProfile",
+    "CoveringProfiler",
+    "CoveringResult",
+]
 
 
 @dataclass
@@ -50,6 +61,59 @@ class CoveringResult:
     def covered(self) -> bool:
         """True when a covering subscription was found."""
         return self.covering_id is not None
+
+
+@dataclass(frozen=True)
+class CoveringProfile:
+    """The per-subscription half of a covering check, computed once.
+
+    A covering query for a subscription runs the same geometry no matter
+    which link's detector answers it: validate the ranges, transform them to
+    a dominance point, decompose the point's dominance region into a probe
+    schedule.  A profile captures all three so that every neighbour strategy
+    — and every later promotion re-check — shares one computation.
+    """
+
+    ranges: Tuple[Range, ...]
+    point: Tuple[int, ...]
+    plan: DominancePlan
+
+
+class CoveringProfiler:
+    """Builds :class:`CoveringProfile` objects compatible with a detector config.
+
+    One profiler per broker: it mirrors the parameters every per-link
+    :class:`ApproximateCoveringDetector` of that broker was built with
+    (attribute count/order, ε, cube budget), so its profiles can be handed to
+    any of them.
+    """
+
+    def __init__(
+        self,
+        attributes: int,
+        attribute_order: int,
+        epsilon: float = 0.05,
+        cube_budget: int = 1_000_000,
+    ) -> None:
+        self.attributes = attributes
+        self.attribute_order = attribute_order
+        self.epsilon = epsilon
+        self.cube_budget = cube_budget
+        self.transform = DominanceTransform(attributes, attribute_order)
+        self._curve = ZOrderCurve(self.transform.universe)
+
+    def profile(self, ranges: Sequence[Range]) -> CoveringProfile:
+        """Validate ``ranges`` and build their point + probe schedule."""
+        validated = self.transform.validate_ranges(ranges)
+        point = self.transform.to_point(validated)
+        plan = build_dominance_plan(
+            self.transform.universe,
+            point,
+            epsilon=self.epsilon,
+            cube_budget=self.cube_budget,
+            curve=self._curve,
+        )
+        return CoveringProfile(ranges=validated, point=point, plan=plan)
 
 
 @dataclass
@@ -149,6 +213,38 @@ class ApproximateCoveringDetector:
     def is_covered(self, ranges: Sequence[Range], epsilon: Optional[float] = None) -> bool:
         """Return True when the approximate search finds a covering subscription."""
         return self.find_covering(ranges, epsilon=epsilon).covered
+
+    # ---------------------------------------------------------------- profiles
+    def compatible_profile(self, profile: CoveringProfile) -> bool:
+        """True when ``profile`` was built with this detector's parameters.
+
+        All three answer-affecting parameters must match — universe, ε and
+        the cube budget (the plan bakes its budget cut-off in at build time).
+        """
+        return (
+            profile.plan.universe == self.transform.universe
+            and profile.plan.epsilon == self.epsilon
+            and profile.plan.cube_budget == self.cube_budget
+        )
+
+    def add_subscription_profile(self, sub_id: Hashable, profile: CoveringProfile) -> None:
+        """Store a subscription from its precomputed profile (no re-validation)."""
+        self._subscriptions[sub_id] = profile.ranges
+        self.index.insert(sub_id, profile.point)
+
+    def find_covering_profile(self, profile: CoveringProfile) -> CoveringResult:
+        """Covering query along a precomputed probe schedule.
+
+        Identical answer to :meth:`find_covering` on the profile's ranges at
+        the detector's default ε — the plan replays the exact same search.  A
+        profile built under different parameters (paranoia guard; brokers
+        share one config) falls back to the classic interleaved search.
+        """
+        if not self.compatible_profile(profile):
+            return self.find_covering(profile.ranges)
+        result = self.index.execute_plan(profile.plan)
+        covering_id = result.item.item_id if result.item is not None else None
+        return CoveringResult(covering_id=covering_id, query=result)
 
     def find_covering_exhaustive(
         self, ranges: Sequence[Range], exclude: Optional[Hashable] = None

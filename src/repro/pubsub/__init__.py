@@ -1,6 +1,6 @@
 """Content-based publish/subscribe substrate: schema, subscriptions, brokers, network."""
 
-from .broker import LOCAL_INTERFACE, Broker, ForwardDecision
+from .broker import LOCAL_INTERFACE, PROMOTION_KINDS, Broker, ForwardDecision
 from .client import Publisher, Subscriber
 from .network import (
     BrokerNetwork,
@@ -25,9 +25,11 @@ from .routing_table import (
 from .schema import Attribute, AttributeSchema
 from .stats import BrokerStats, NetworkStats, TransportStats
 from .subscription import Event, Subscription, make_event, make_subscription
+from .subscription_store import ProfileCache, SubscriptionProfile, SubscriptionStore
 
 __all__ = [
     "LOCAL_INTERFACE",
+    "PROMOTION_KINDS",
     "Broker",
     "ForwardDecision",
     "Publisher",
@@ -59,4 +61,7 @@ __all__ = [
     "Subscription",
     "make_event",
     "make_subscription",
+    "ProfileCache",
+    "SubscriptionProfile",
+    "SubscriptionStore",
 ]

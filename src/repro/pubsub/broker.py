@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..core.covering import CoveringProfiler
 from .match_index import DEFAULT_RUN_BUDGET
 from .routing_table import (
     DEFAULT_CUBE_BUDGET,
@@ -38,11 +39,18 @@ from .routing_table import (
 from .schema import AttributeSchema
 from .stats import BrokerStats
 from .subscription import Event, Subscription
+from .subscription_store import ProfileCache, SubscriptionProfile, SubscriptionStore
 
-__all__ = ["Broker", "ForwardDecision", "LOCAL_INTERFACE"]
+__all__ = ["Broker", "ForwardDecision", "LOCAL_INTERFACE", "PROMOTION_KINDS"]
 
 #: Pseudo-interface identifier for subscriptions registered by local clients.
 LOCAL_INTERFACE = "__local__"
+
+#: Withdrawal-promotion engines: ``incremental`` re-checks only the suppressed
+#: subscriptions whose recorded cover was withdrawn (one dependents-map pop);
+#: ``rescan`` is the legacy engine that re-checks every suppressed
+#: subscription on the link after any forwarded withdrawal.
+PROMOTION_KINDS = ("incremental", "rescan")
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,18 @@ class Broker:
         match index (identical answers, indexed cost).
     run_budget:
         Per-subscription cap on key ranges stored by the ``"sfc"`` match index.
+    promotion:
+        Withdrawal-promotion engine (see :data:`PROMOTION_KINDS`).
+    profile_sharing:
+        When True (default) each stored subscription's covering geometry —
+        validated ranges, dominance point, probe plan — is computed once in
+        the broker's :class:`SubscriptionStore` and shared by every link's
+        covering checks (and by promotion re-checks).  False restores the
+        legacy per-check recomputation; forwarding decisions are identical
+        either way.
+    profile_cache:
+        Optional shared :class:`ProfileCache` (the network passes one cache
+        to all its brokers so a subscription is profiled once network-wide).
     """
 
     broker_id: Hashable
@@ -90,10 +110,30 @@ class Broker:
     cube_budget: int = DEFAULT_CUBE_BUDGET
     matching: str = "linear"
     run_budget: int = DEFAULT_RUN_BUDGET
+    promotion: str = "incremental"
+    profile_sharing: bool = True
+    profile_cache: Optional[ProfileCache] = None
     stats: BrokerStats = field(default_factory=BrokerStats)
 
     def __post_init__(self) -> None:
+        if self.promotion not in PROMOTION_KINDS:
+            raise ValueError(
+                f"unknown promotion kind {self.promotion!r}; expected one of {PROMOTION_KINDS}"
+            )
         self.routing_table = self._fresh_routing_table()
+        if self.profile_cache is None:
+            profiler = (
+                CoveringProfiler(
+                    self.schema.num_attributes,
+                    self.schema.order,
+                    epsilon=self.epsilon,
+                    cube_budget=self.cube_budget,
+                )
+                if self.covering == "approximate"
+                else None
+            )
+            self.profile_cache = ProfileCache(profiler)
+        self._store = SubscriptionStore(self.profile_cache)
         self._neighbors: List[Hashable] = []
         self._forwarded: Dict[Hashable, CoveringStrategy] = {}
         # Per neighbour: the subscriptions actually sent on the link, keyed by
@@ -101,8 +141,16 @@ class Broker:
         # after the neighbour loses state (crash recovery).
         self._forwarded_ids: Dict[Hashable, Dict[Hashable, Subscription]] = {}
         self._suppressed: Dict[Hashable, Dict[Hashable, Subscription]] = {}
+        # Per neighbour: which forwarded subscription each suppressed one was
+        # last found covered by, plus the reverse map.  The incremental
+        # promotion engine pops the withdrawn cover's dependants instead of
+        # re-checking the whole suppressed set.  Inner dicts preserve
+        # insertion order so promotion re-checks run deterministically.
+        self._cover_of: Dict[Hashable, Dict[Hashable, Hashable]] = {}
+        self._dependents: Dict[Hashable, Dict[Hashable, Dict[Hashable, None]]] = {}
         self._local_subscribers: Dict[Hashable, List[Subscription]] = {}
         self._decision_log: List[ForwardDecision] = []
+        self._in_batch = False
         # Set by the network: called as send_subscription(from, to, subscription)
         self._send_subscription: Optional[Callable[[Hashable, Hashable, Subscription], None]] = None
         self._send_unsubscription: Optional[Callable[[Hashable, Hashable, Hashable], None]] = None
@@ -133,6 +181,8 @@ class Broker:
         )
         self._forwarded_ids[neighbor_id] = {}
         self._suppressed[neighbor_id] = {}
+        self._cover_of[neighbor_id] = {}
+        self._dependents[neighbor_id] = {}
 
     def connect(self, neighbor_id: Hashable) -> None:
         """Register a neighbouring broker (called by the network while building the topology)."""
@@ -167,46 +217,129 @@ class Broker:
         self._local_subscribers.setdefault(client_id, []).append(subscription)
         self.receive_subscription(LOCAL_INTERFACE, subscription)
 
+    def subscribe_batch(self, items: Sequence[Tuple[Hashable, Subscription]]) -> None:
+        """Register a batch of ``(client_id, subscription)`` pairs and propagate them.
+
+        Equivalent to calling :meth:`subscribe_local` per pair — per-link
+        processing order, forwarding decisions and message sequences are
+        identical — but the per-subscription profile work is amortised over
+        the batch and the per-link covering state stays hot while the batch
+        sweeps each neighbour.
+        """
+        for client_id, subscription in items:
+            self._local_subscribers.setdefault(client_id, []).append(subscription)
+        self.receive_subscription_batch(LOCAL_INTERFACE, [sub for _, sub in items])
+
     def receive_subscription(self, from_interface: Hashable, subscription: Subscription) -> None:
         """Handle a subscription arriving from ``from_interface`` (neighbour or local client)."""
         self.stats.subscriptions_received += 1
+        profile = self._store_subscription(from_interface, subscription)
+        for neighbor_id in self._neighbors:
+            if neighbor_id == from_interface:
+                continue
+            self._consider_forwarding(neighbor_id, subscription, profile)
+
+    def receive_subscription_batch(
+        self, from_interface: Hashable, subscriptions: Sequence[Subscription]
+    ) -> None:
+        """Handle a batch of subscriptions arriving together on one interface.
+
+        All subscriptions are stored (and profiled) first, then each outgoing
+        link is swept once.  Per link the subscriptions are considered in
+        batch order, so the covering decisions — including intra-batch
+        suppression of later subscriptions by earlier ones — are exactly
+        those of sequential arrival.
+        """
+        self._in_batch = True
+        try:
+            entries: List[Tuple[Subscription, Optional[SubscriptionProfile]]] = []
+            for subscription in subscriptions:
+                self.stats.subscriptions_received += 1
+                entries.append(
+                    (subscription, self._store_subscription(from_interface, subscription))
+                )
+            for neighbor_id in self._neighbors:
+                if neighbor_id == from_interface:
+                    continue
+                for subscription, profile in entries:
+                    self._consider_forwarding(neighbor_id, subscription, profile)
+        finally:
+            self._in_batch = False
+
+    def _store_subscription(
+        self, from_interface: Hashable, subscription: Subscription
+    ) -> Optional[SubscriptionProfile]:
+        """Store an arrival in the interface table; return its shared profile."""
         table = self.routing_table.table(from_interface)
         already_stored = subscription.sub_id in table
         table.add(subscription)
         if not already_stored:
             self.stats.subscriptions_stored += 1
-        for neighbor_id in self._neighbors:
-            if neighbor_id == from_interface:
-                continue
-            self._consider_forwarding(neighbor_id, subscription)
+            if self.profile_sharing:
+                return self._store.acquire(subscription)
+        return self._store.get(subscription.sub_id) if self.profile_sharing else None
 
-    def _consider_forwarding(self, neighbor_id: Hashable, subscription: Subscription) -> None:
-        if subscription.sub_id in self._forwarded_ids[neighbor_id]:
-            # Duplicate arrival of a subscription already forwarded on this
-            # link: re-adding it to the strategy and re-sending it would
-            # double-count state downstream and leave a ghost entry behind
-            # after a single withdrawal.
-            return
-        strategy = self._forwarded[neighbor_id]
+    def _covering_check(
+        self,
+        strategy: CoveringStrategy,
+        subscription: Subscription,
+        profile: Optional[SubscriptionProfile],
+    ) -> Optional[Hashable]:
+        """One covering query against a link's forwarded set, with accounting."""
         self.stats.covering_checks += 1
+        if self._in_batch:
+            self.stats.batch_covering_checks += 1
         before = strategy.work_units()
-        covered_by = strategy.find_covering(subscription.ranges)
+        if profile is not None:
+            covered_by = strategy.find_covering_profile(profile)
+        else:
+            covered_by = strategy.find_covering(subscription.ranges)
         self.stats.covering_check_runs += strategy.work_units() - before
-        if covered_by is not None:
-            if subscription.sub_id not in self._suppressed[neighbor_id]:
-                self.stats.subscriptions_suppressed += 1
-            self._suppressed[neighbor_id][subscription.sub_id] = subscription
-            self._decision_log.append(
-                ForwardDecision(subscription.sub_id, neighbor_id, False, covered_by)
-            )
-            return
-        # A duplicate arrival of a previously *suppressed* subscription can
-        # reach this point when the (approximate) covering check misses the
-        # cover it found the first time.  Forwarding is then correct, but the
-        # pending entry must go, or a later withdrawal would take the
-        # suppressed early-exit and leave a ghost entry in the strategy.
-        self._suppressed[neighbor_id].pop(subscription.sub_id, None)
-        strategy.add(subscription.sub_id, subscription.ranges)
+        return covered_by
+
+    def _record_suppression(
+        self, neighbor_id: Hashable, subscription: Subscription, covered_by: Hashable
+    ) -> None:
+        """Mark a subscription suppressed on a link and index it under its cover."""
+        sub_id = subscription.sub_id
+        suppressed = self._suppressed[neighbor_id]
+        if sub_id not in suppressed:
+            self.stats.subscriptions_suppressed += 1
+        else:
+            previous = self._cover_of[neighbor_id].get(sub_id)
+            if previous is not None and previous != covered_by:
+                dependents = self._dependents[neighbor_id].get(previous)
+                if dependents is not None:
+                    dependents.pop(sub_id, None)
+                    if not dependents:
+                        del self._dependents[neighbor_id][previous]
+        suppressed[sub_id] = subscription
+        self._cover_of[neighbor_id][sub_id] = covered_by
+        self._dependents[neighbor_id].setdefault(covered_by, {})[sub_id] = None
+
+    def _clear_suppression(self, neighbor_id: Hashable, sub_id: Hashable) -> None:
+        """Forget a link's suppression entry and its cover bookkeeping."""
+        self._suppressed[neighbor_id].pop(sub_id, None)
+        cover = self._cover_of[neighbor_id].pop(sub_id, None)
+        if cover is not None:
+            dependents = self._dependents[neighbor_id].get(cover)
+            if dependents is not None:
+                dependents.pop(sub_id, None)
+                if not dependents:
+                    del self._dependents[neighbor_id][cover]
+
+    def _install_forward(
+        self,
+        neighbor_id: Hashable,
+        strategy: CoveringStrategy,
+        subscription: Subscription,
+        profile: Optional[SubscriptionProfile],
+    ) -> None:
+        """Add a subscription to a link's forwarded set and send it."""
+        if profile is not None:
+            strategy.add_profile(subscription.sub_id, profile)
+        else:
+            strategy.add(subscription.sub_id, subscription.ranges)
         self._forwarded_ids[neighbor_id][subscription.sub_id] = subscription
         self.stats.subscriptions_forwarded += 1
         self._decision_log.append(ForwardDecision(subscription.sub_id, neighbor_id, True, None))
@@ -216,6 +349,34 @@ class Broker:
                 "add it to a BrokerNetwork before sending subscriptions"
             )
         self._send_subscription(self.broker_id, neighbor_id, subscription)
+
+    def _consider_forwarding(
+        self,
+        neighbor_id: Hashable,
+        subscription: Subscription,
+        profile: Optional[SubscriptionProfile] = None,
+    ) -> None:
+        if subscription.sub_id in self._forwarded_ids[neighbor_id]:
+            # Duplicate arrival of a subscription already forwarded on this
+            # link: re-adding it to the strategy and re-sending it would
+            # double-count state downstream and leave a ghost entry behind
+            # after a single withdrawal.
+            return
+        strategy = self._forwarded[neighbor_id]
+        covered_by = self._covering_check(strategy, subscription, profile)
+        if covered_by is not None:
+            self._record_suppression(neighbor_id, subscription, covered_by)
+            self._decision_log.append(
+                ForwardDecision(subscription.sub_id, neighbor_id, False, covered_by)
+            )
+            return
+        # A duplicate arrival of a previously *suppressed* subscription can
+        # reach this point when the (approximate) covering check misses the
+        # cover it found the first time.  Forwarding is then correct, but the
+        # pending entry must go, or a later withdrawal would take the
+        # suppressed early-exit and leave a ghost entry in the strategy.
+        self._clear_suppression(neighbor_id, subscription.sub_id)
+        self._install_forward(neighbor_id, strategy, subscription, profile)
 
     def has_forwarded(self, neighbor_id: Hashable, sub_id: Hashable) -> bool:
         """Return True when ``sub_id`` was forwarded to ``neighbor_id`` (test helper)."""
@@ -232,6 +393,7 @@ class Broker:
         make the old state untrustworthy.
         """
         self.routing_table = self._fresh_routing_table()
+        self._store.clear()
         for neighbor_id in self._neighbors:
             self._fresh_link_state(neighbor_id)
 
@@ -299,7 +461,10 @@ class Broker:
                 if subscription.sub_id in seen:
                     continue
                 seen.add(subscription.sub_id)
-                self._consider_forwarding(neighbor_id, subscription)
+                profile = (
+                    self._store.get(subscription.sub_id) if self.profile_sharing else None
+                )
+                self._consider_forwarding(neighbor_id, subscription, profile)
         return len(seen)
 
     # --------------------------------------------------------- unsubscriptions
@@ -320,19 +485,67 @@ class Broker:
                 return True
         return False
 
+    def unsubscribe_batch(self, items: Sequence[Tuple[Hashable, Hashable]]) -> List[bool]:
+        """Withdraw a batch of ``(client_id, sub_id)`` pairs in one pass.
+
+        Per-link withdrawal order and promotion decisions are identical to
+        calling :meth:`unsubscribe_local` per pair; the per-link sweep keeps
+        each link's covering state hot and the promotion engine amortises its
+        profile lookups.  Returns one found-flag per pair.
+        """
+        removed_flags: List[bool] = []
+        to_withdraw: List[Hashable] = []
+        for client_id, sub_id in items:
+            subscriptions = self._local_subscribers.get(client_id, [])
+            found = next((s for s in subscriptions if s.sub_id == sub_id), None)
+            if found is not None:
+                subscriptions.remove(found)
+                to_withdraw.append(sub_id)
+                removed_flags.append(True)
+            else:
+                removed_flags.append(False)
+        self.receive_unsubscription_batch(LOCAL_INTERFACE, to_withdraw)
+        return removed_flags
+
     def receive_unsubscription(self, from_interface: Hashable, sub_id: Hashable) -> None:
         """Handle the withdrawal of ``sub_id`` announced on ``from_interface``."""
-        self.routing_table.table(from_interface).remove(sub_id)
+        removed = self.routing_table.table(from_interface).remove(sub_id)
         for neighbor_id in self._neighbors:
             if neighbor_id == from_interface:
                 continue
             self._withdraw_from_neighbor(neighbor_id, sub_id)
+        if removed and self.profile_sharing:
+            self._store.release(sub_id)
+
+    def receive_unsubscription_batch(
+        self, from_interface: Hashable, sub_ids: Sequence[Hashable]
+    ) -> None:
+        """Handle a batch of withdrawals arriving together on one interface.
+
+        All ids leave the interface table first, then each outgoing link is
+        swept once; per link the withdrawals (and their promotions) run in
+        batch order, matching sequential arrival exactly.
+        """
+        self._in_batch = True
+        try:
+            table = self.routing_table.table(from_interface)
+            removed = [sub_id for sub_id in sub_ids if table.remove(sub_id)]
+            for neighbor_id in self._neighbors:
+                if neighbor_id == from_interface:
+                    continue
+                for sub_id in sub_ids:
+                    self._withdraw_from_neighbor(neighbor_id, sub_id)
+            if self.profile_sharing:
+                for sub_id in removed:
+                    self._store.release(sub_id)
+        finally:
+            self._in_batch = False
 
     def _withdraw_from_neighbor(self, neighbor_id: Hashable, sub_id: Hashable) -> None:
         suppressed = self._suppressed[neighbor_id]
         if sub_id in suppressed:
             # Never forwarded there in the first place: just forget it.
-            del suppressed[sub_id]
+            self._clear_suppression(neighbor_id, sub_id)
             return
         if sub_id not in self._forwarded_ids[neighbor_id]:
             return
@@ -342,22 +555,37 @@ class Broker:
         if self._send_unsubscription is not None:
             self._send_unsubscription(self.broker_id, neighbor_id, sub_id)
         # Subscriptions previously suppressed on this link may have lost their
-        # cover; re-run the forwarding decision for each of them so downstream
-        # brokers keep receiving the events those subscribers still need.
-        for pending_id, pending in list(suppressed.items()):
-            self.stats.covering_checks += 1
-            before = strategy.work_units()
-            covered_by = strategy.find_covering(pending.ranges)
-            self.stats.covering_check_runs += strategy.work_units() - before
-            if covered_by is not None:
+        # cover; re-run the forwarding decision so downstream brokers keep
+        # receiving the events those subscribers still need.  The incremental
+        # engine re-checks only the withdrawn subscription's recorded
+        # dependants — any other suppressed subscription still has its
+        # recorded cover in the forwarded set, so its suppression stays sound.
+        if self.promotion == "incremental":
+            dependents = self._dependents[neighbor_id].pop(sub_id, None)
+            if not dependents:
+                return
+            candidates = [
+                (pending_id, suppressed[pending_id])
+                for pending_id in dependents
+                if pending_id in suppressed
+            ]
+        else:
+            candidates = list(suppressed.items())
+        for pending_id, pending in candidates:
+            if pending_id not in suppressed:
+                # Promoted earlier in this very pass (it covered a later
+                # candidate's re-check instead).
                 continue
-            del suppressed[pending_id]
-            strategy.add(pending_id, pending.ranges)
-            self._forwarded_ids[neighbor_id][pending_id] = pending
-            self.stats.subscriptions_forwarded += 1
-            self._decision_log.append(ForwardDecision(pending_id, neighbor_id, True, None))
-            if self._send_subscription is not None:
-                self._send_subscription(self.broker_id, neighbor_id, pending)
+            profile = self._store.get(pending_id) if self.profile_sharing else None
+            covered_by = self._covering_check(strategy, pending, profile)
+            if covered_by is not None:
+                # Still covered — by a different survivor; re-home it so the
+                # dependants map stays exact.
+                self._record_suppression(neighbor_id, pending, covered_by)
+                continue
+            self._clear_suppression(neighbor_id, pending_id)
+            self._install_forward(neighbor_id, strategy, pending, profile)
+            self.stats.promotions += 1
 
     # ------------------------------------------------------------------ events
     def publish_local(self, event: Event) -> None:
@@ -437,6 +665,37 @@ class Broker:
                     break  # one delivery per client per event
 
     # -------------------------------------------------------------- accounting
+    def routing_state(self) -> Dict[str, Dict[str, List[str]]]:
+        """Normalised dump of this broker's learnt routing/covering state.
+
+        Interface and subscription identifiers are stringified and sorted so
+        dumps from two runs (different transports, batch vs sequential APIs)
+        compare with ``==`` regardless of dict iteration history.  Used by
+        the equivalence tests and the benchmark smoke check.
+        """
+        tables = {
+            str(interface_id): sorted(
+                str(sub.sub_id)
+                for sub in self.routing_table.table(interface_id).subscriptions()
+            )
+            for interface_id in list(self.routing_table.interfaces())
+        }
+        # Empty entries are dropped: an interface table (or link set) that was
+        # created and later drained must compare equal to one never touched.
+        return {
+            "tables": {iface: subs for iface, subs in tables.items() if subs},
+            "forwarded": {
+                str(neighbor_id): sorted(str(sub_id) for sub_id in forwarded)
+                for neighbor_id, forwarded in self._forwarded_ids.items()
+                if forwarded
+            },
+            "suppressed": {
+                str(neighbor_id): sorted(str(sub_id) for sub_id in suppressed)
+                for neighbor_id, suppressed in self._suppressed.items()
+                if suppressed
+            },
+        }
+
     def routing_table_size(self) -> int:
         """Total subscription entries stored in this broker's routing table."""
         return self.routing_table.total_entries()

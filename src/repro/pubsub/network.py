@@ -23,11 +23,14 @@ publishing broker through up brokers.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from ..core.covering import CoveringProfiler
 from ..sim.transport import SyncTransport, Transport
 from .broker import LOCAL_INTERFACE, Broker
 from .match_index import DEFAULT_RUN_BUDGET
@@ -35,6 +38,7 @@ from .routing_table import DEFAULT_CUBE_BUDGET
 from .schema import AttributeSchema
 from .stats import NetworkStats
 from .subscription import Event, Subscription
+from .subscription_store import ProfileCache
 
 __all__ = ["BrokerNetwork", "DeliveryRecord", "tree_topology", "chain_topology", "star_topology"]
 
@@ -98,6 +102,13 @@ class BrokerNetwork:
         :class:`~repro.sim.transport.SyncTransport` (immediate inline
         delivery).  Pass a :class:`~repro.sim.transport.SimTransport` for
         latency, queueing and churn.
+    promotion:
+        Withdrawal-promotion engine every broker uses
+        (:data:`~repro.pubsub.broker.PROMOTION_KINDS`).
+    profile_sharing:
+        When True (default) the network builds one shared
+        :class:`~repro.pubsub.subscription_store.ProfileCache` so each
+        subscription's covering geometry is computed once network-wide.
     """
 
     schema: AttributeSchema
@@ -109,6 +120,8 @@ class BrokerNetwork:
     cube_budget: int = DEFAULT_CUBE_BUDGET
     matching: str = "linear"
     run_budget: int = DEFAULT_RUN_BUDGET
+    promotion: str = "incremental"
+    profile_sharing: bool = True
     transport: Optional[Transport] = None
     brokers: Dict[Hashable, Broker] = field(default_factory=dict)
 
@@ -124,6 +137,17 @@ class BrokerNetwork:
         self._client_home: Dict[Hashable, Hashable] = {}
         self._client_subscriptions: Dict[Hashable, List[Subscription]] = {}
         self._publish_times: Dict[Hashable, float] = {}
+        self._phase_seconds: Dict[str, float] = {}
+        self.profile_cache = ProfileCache(
+            CoveringProfiler(
+                self.schema.num_attributes,
+                self.schema.order,
+                epsilon=self.epsilon,
+                cube_budget=self.cube_budget,
+            )
+            if self.covering == "approximate" and self.profile_sharing
+            else None
+        )
 
     # ---------------------------------------------------------------- topology
     def add_broker(self, broker_id: Hashable) -> Broker:
@@ -141,6 +165,9 @@ class BrokerNetwork:
             cube_budget=self.cube_budget,
             matching=self.matching,
             run_budget=self.run_budget,
+            promotion=self.promotion,
+            profile_sharing=self.profile_sharing,
+            profile_cache=self.profile_cache,
         )
         broker.attach_transport(
             self._transport_subscription,
@@ -183,6 +210,8 @@ class BrokerNetwork:
         cube_budget: int = DEFAULT_CUBE_BUDGET,
         matching: str = "linear",
         run_budget: int = DEFAULT_RUN_BUDGET,
+        promotion: str = "incremental",
+        profile_sharing: bool = True,
         transport: Optional[Transport] = None,
     ) -> "BrokerNetwork":
         """Build a network from an edge list (nodes are created on first sight)."""
@@ -196,6 +225,8 @@ class BrokerNetwork:
             cube_budget=cube_budget,
             matching=matching,
             run_budget=run_budget,
+            promotion=promotion,
+            profile_sharing=profile_sharing,
             transport=transport,
         )
         for a, b in edges:
@@ -320,6 +351,21 @@ class BrokerNetwork:
         return set(component)
 
     # ------------------------------------------------------------------- usage
+    @contextmanager
+    def _timed_phase(self, phase: str):
+        """Accumulate wall-clock time for one subscription-lifecycle phase."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._phase_seconds[phase] = self._phase_seconds.get(phase, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def phase_timings(self) -> Dict[str, float]:
+        """Accumulated wall-clock seconds per lifecycle phase."""
+        return dict(self._phase_seconds)
+
     def subscribe(self, broker_id: Hashable, client_id: Hashable, subscription: Subscription) -> None:
         """Register a client subscription at ``broker_id`` and propagate it network-wide."""
         if broker_id not in self.brokers:
@@ -328,7 +374,42 @@ class BrokerNetwork:
             raise ValueError(f"broker {broker_id!r} is down")
         self._client_home[client_id] = broker_id
         self._client_subscriptions.setdefault(client_id, []).append(subscription)
-        self.brokers[broker_id].subscribe_local(client_id, subscription)
+        with self._timed_phase("subscribe"):
+            self.brokers[broker_id].subscribe_local(client_id, subscription)
+
+    def subscribe_batch_async(
+        self, broker_id: Hashable, items: Sequence[Tuple[Hashable, Subscription]]
+    ) -> None:
+        """Like :meth:`subscribe_batch` without waiting for propagation.
+
+        Under a simulated transport the batch's messages are scheduled on the
+        kernel; call :meth:`flush` (or keep running the scenario) to let them
+        arrive.  Safe to call from inside a kernel callback, where a nested
+        flush would re-enter the event loop.
+        """
+        if broker_id not in self.brokers:
+            raise ValueError(f"unknown broker {broker_id!r}")
+        if not self.transport.is_up(broker_id):
+            raise ValueError(f"broker {broker_id!r} is down")
+        items = list(items)
+        for client_id, subscription in items:
+            self._client_home[client_id] = broker_id
+            self._client_subscriptions.setdefault(client_id, []).append(subscription)
+        self.brokers[broker_id].subscribe_batch(items)
+
+    def subscribe_batch(
+        self, broker_id: Hashable, items: Sequence[Tuple[Hashable, Subscription]]
+    ) -> None:
+        """Register a batch of ``(client_id, subscription)`` pairs at one broker.
+
+        Equivalent to calling :meth:`subscribe` per pair (identical final
+        routing state, pinned by the batch-equivalence tests), with the
+        per-subscription profile work amortised across the batch.  Under a
+        simulated transport the propagation is drained before returning.
+        """
+        with self._timed_phase("subscribe_batch"):
+            self.subscribe_batch_async(broker_id, items)
+            self.flush()
 
     def unsubscribe(self, client_id: Hashable, sub_id: Hashable) -> bool:
         """Withdraw a previously registered client subscription network-wide.
@@ -343,13 +424,56 @@ class BrokerNetwork:
             return False
         if not self.transport.is_up(broker_id):
             raise ValueError(f"broker {broker_id!r} is down")
-        removed = self.brokers[broker_id].unsubscribe_local(client_id, sub_id)
+        with self._timed_phase("unsubscribe"):
+            removed = self.brokers[broker_id].unsubscribe_local(client_id, sub_id)
         if removed:
             subscriptions = self._client_subscriptions.get(client_id, [])
             self._client_subscriptions[client_id] = [
                 sub for sub in subscriptions if sub.sub_id != sub_id
             ]
         return removed
+
+    def unsubscribe_batch_async(
+        self, items: Sequence[Tuple[Hashable, Hashable]]
+    ) -> List[bool]:
+        """Like :meth:`unsubscribe_batch` without waiting for propagation."""
+        items = list(items)
+        groups: Dict[Hashable, List[Tuple[int, Hashable, Hashable]]] = {}
+        flags: List[bool] = [False] * len(items)
+        for position, (client_id, sub_id) in enumerate(items):
+            broker_id = self._client_home.get(client_id)
+            if broker_id is None:
+                continue
+            if not self.transport.is_up(broker_id):
+                raise ValueError(f"broker {broker_id!r} is down")
+            groups.setdefault(broker_id, []).append((position, client_id, sub_id))
+        for broker_id, group in groups.items():
+            removed = self.brokers[broker_id].unsubscribe_batch(
+                [(client_id, sub_id) for _, client_id, sub_id in group]
+            )
+            for (position, client_id, sub_id), found in zip(group, removed):
+                flags[position] = found
+                if found:
+                    subscriptions = self._client_subscriptions.get(client_id, [])
+                    self._client_subscriptions[client_id] = [
+                        sub for sub in subscriptions if sub.sub_id != sub_id
+                    ]
+        return flags
+
+    def unsubscribe_batch(self, items: Sequence[Tuple[Hashable, Hashable]]) -> List[bool]:
+        """Withdraw a batch of ``(client_id, sub_id)`` pairs network-wide.
+
+        Pairs are grouped by the client's home broker (preserving order
+        within each group) and withdrawn through the broker's batch path;
+        the promotion engine runs per withdrawal exactly as it would under
+        sequential :meth:`unsubscribe` calls.  Unknown clients yield False;
+        a pair homed at a crashed broker raises like the sequential API.
+        Returns one found-flag per pair, in input order.
+        """
+        with self._timed_phase("unsubscribe_batch"):
+            flags = self.unsubscribe_batch_async(items)
+            self.flush()
+        return flags
 
     def publish_async(self, broker_id: Hashable, event: Event) -> None:
         """Inject ``event`` at ``broker_id`` without waiting for propagation.
@@ -447,6 +571,19 @@ class BrokerNetwork:
         return expected - delivered, delivered - expected
 
     # ------------------------------------------------------------------- stats
+    def routing_state(self) -> Dict[str, Dict[str, Dict[str, List[str]]]]:
+        """Normalised per-broker routing/covering state dump.
+
+        Two runs that made the same forwarding decisions — whatever the
+        transport, API (batch vs sequential) or dict iteration history —
+        produce ``==``-comparable dumps.  Used by the cross-transport and
+        batch-equivalence tests and the benchmark smoke check.
+        """
+        return {
+            str(broker_id): self.brokers[broker_id].routing_state()
+            for broker_id in sorted(self.brokers, key=str)
+        }
+
     def routing_table_entries(self) -> int:
         """Total subscription entries stored across all brokers."""
         return sum(broker.routing_table_size() for broker in self.brokers.values())
@@ -464,6 +601,9 @@ class BrokerNetwork:
             subscription_messages=self.subscription_messages,
             event_messages=self.event_messages,
             transport=self.transport.stats,
+            phase_timings=self.phase_timings(),
+            profile_cache_hits=self.profile_cache.hits,
+            profile_cache_misses=self.profile_cache.misses,
         )
         for broker_id, event in events:
             missed, extra = self.publish_and_audit(broker_id, event)

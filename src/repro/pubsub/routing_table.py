@@ -17,7 +17,20 @@ code independent of which detector is in use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .subscription_store import SubscriptionProfile
 
 from ..baselines.linear_scan import LinearScanCoveringDetector
 from ..baselines.probabilistic import ProbabilisticCoveringDetector
@@ -52,7 +65,16 @@ MATCHING_KINDS = ("linear", "sfc")
 
 
 class CoveringStrategy(Protocol):
-    """Minimal covering-detector contract the routing layer needs."""
+    """Minimal covering-detector contract the routing layer needs.
+
+    The ``*_profile`` variants accept a
+    :class:`~repro.pubsub.subscription_store.SubscriptionProfile` so the
+    per-subscription geometry (validation, dominance transform, probe plan)
+    computed once by the broker's store is shared by every link; strategies
+    without shareable precomputation simply fall back to the profile's plain
+    ranges, and every strategy must give identical answers through both
+    entry points.
+    """
 
     #: Human-readable strategy name used in experiment reports.
     name: str
@@ -60,11 +82,17 @@ class CoveringStrategy(Protocol):
     def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
         """Register a subscription that has been forwarded."""
 
+    def add_profile(self, sub_id: Hashable, profile: "SubscriptionProfile") -> None:
+        """Register a forwarded subscription from its precomputed profile."""
+
     def remove(self, sub_id: Hashable) -> bool:
         """Unregister a subscription."""
 
     def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
         """Return a registered subscription covering ``ranges``, or ``None``."""
+
+    def find_covering_profile(self, profile: "SubscriptionProfile") -> Optional[Hashable]:
+        """Covering check through a precomputed profile (same answer as above)."""
 
     def work_units(self) -> int:
         """Return an abstract work counter (comparisons or runs probed) for reporting."""
@@ -79,10 +107,16 @@ class NoCoveringStrategy:
     def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
         return None
 
+    def add_profile(self, sub_id: Hashable, profile) -> None:
+        return None
+
     def remove(self, sub_id: Hashable) -> bool:
         return False
 
     def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
+        return None
+
+    def find_covering_profile(self, profile) -> Optional[Hashable]:
         return None
 
     def work_units(self) -> int:
@@ -99,11 +133,17 @@ class ExactCoveringStrategy:
     def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
         self._detector.add_subscription(sub_id, ranges)
 
+    def add_profile(self, sub_id: Hashable, profile) -> None:
+        self.add(sub_id, profile.ranges)
+
     def remove(self, sub_id: Hashable) -> bool:
         return self._detector.remove_subscription(sub_id)
 
     def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
         return self._detector.find_covering(ranges)
+
+    def find_covering_profile(self, profile) -> Optional[Hashable]:
+        return self.find_covering(profile.ranges)
 
     def work_units(self) -> int:
         return self._detector.stats.comparisons
@@ -134,11 +174,24 @@ class ApproximateCoveringStrategy:
     def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
         self._detector.add_subscription(sub_id, ranges)
 
+    def add_profile(self, sub_id: Hashable, profile) -> None:
+        if profile.covering is not None:
+            self._detector.add_subscription_profile(sub_id, profile.covering)
+        else:
+            self.add(sub_id, profile.ranges)
+
     def remove(self, sub_id: Hashable) -> bool:
         return self._detector.remove_subscription(sub_id)
 
     def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
         result = self._detector.find_covering(ranges)
+        self._runs_probed += result.query.runs_probed
+        return result.covering_id
+
+    def find_covering_profile(self, profile) -> Optional[Hashable]:
+        if profile.covering is None:
+            return self.find_covering(profile.ranges)
+        result = self._detector.find_covering_profile(profile.covering)
         self._runs_probed += result.query.runs_probed
         return result.covering_id
 
@@ -160,11 +213,17 @@ class ProbabilisticCoveringStrategy:
     def add(self, sub_id: Hashable, ranges: Tuple[Tuple[int, int], ...]) -> None:
         self._detector.add_subscription(sub_id, ranges)
 
+    def add_profile(self, sub_id: Hashable, profile) -> None:
+        self.add(sub_id, profile.ranges)
+
     def remove(self, sub_id: Hashable) -> bool:
         return self._detector.remove_subscription(sub_id)
 
     def find_covering(self, ranges: Tuple[Tuple[int, int], ...]) -> Optional[Hashable]:
         return self._detector.find_covering(ranges)
+
+    def find_covering_profile(self, profile) -> Optional[Hashable]:
+        return self.find_covering(profile.ranges)
 
     def work_units(self) -> int:
         return self._detector.stats.candidate_checks

@@ -26,7 +26,11 @@ class BrokerStats:
     subscriptions_forwarded: int = 0
     subscriptions_suppressed: int = 0
     subscriptions_resynced: int = 0
+    #: Suppressed subscriptions re-forwarded because their cover was withdrawn.
+    promotions: int = 0
     covering_checks: int = 0
+    #: Covering checks issued from inside a batch subscribe/withdraw pass.
+    batch_covering_checks: int = 0
     covering_check_runs: int = 0
     events_received: int = 0
     events_forwarded: int = 0
@@ -44,7 +48,9 @@ class BrokerStats:
             "subscriptions_forwarded": self.subscriptions_forwarded,
             "subscriptions_suppressed": self.subscriptions_suppressed,
             "subscriptions_resynced": self.subscriptions_resynced,
+            "promotions": self.promotions,
             "covering_checks": self.covering_checks,
+            "batch_covering_checks": self.batch_covering_checks,
             "covering_check_runs": self.covering_check_runs,
             "events_received": self.events_received,
             "events_forwarded": self.events_forwarded,
@@ -77,6 +83,15 @@ class NetworkStats:
         retries and drops.  Under the synchronous transport all latencies are
         zero; under :class:`~repro.sim.transport.SimTransport` these are the
         timing metrics of the simulated run.
+    phase_timings:
+        Wall-clock seconds the network spent in each subscription-lifecycle
+        phase (``subscribe`` / ``unsubscribe`` and their ``*_batch``
+        variants), measured around the broker call plus the flush that drains
+        its propagation.
+    profile_cache_hits / profile_cache_misses:
+        Shared :class:`~repro.pubsub.subscription_store.ProfileCache`
+        counters: a hit means a subscription's covering geometry was reused
+        instead of recomputed.
     """
 
     per_broker: Dict[Hashable, BrokerStats] = field(default_factory=dict)
@@ -87,6 +102,9 @@ class NetworkStats:
     events_missed: int = 0
     duplicate_deliveries: int = 0
     transport: Optional[TransportStats] = None
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+    profile_cache_hits: int = 0
+    profile_cache_misses: int = 0
 
     @property
     def total_covering_checks(self) -> int:
@@ -95,6 +113,14 @@ class NetworkStats:
     @property
     def total_suppressed(self) -> int:
         return sum(stats.subscriptions_suppressed for stats in self.per_broker.values())
+
+    @property
+    def total_promotions(self) -> int:
+        return sum(stats.promotions for stats in self.per_broker.values())
+
+    @property
+    def total_batch_covering_checks(self) -> int:
+        return sum(stats.batch_covering_checks for stats in self.per_broker.values())
 
     def transport_summary(self) -> Dict[str, float]:
         """Flattened transport metrics (empty when no transport stats were attached)."""

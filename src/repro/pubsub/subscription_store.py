@@ -1,0 +1,167 @@
+"""Per-broker subscription profiles: compute the covering geometry once, share everywhere.
+
+Every subscription that arrives at a broker is considered for forwarding on
+each of its other links, and every such covering check runs the same geometry:
+validate the quantised ranges, transform them into a dominance point, and
+decompose that point's dominance region into a Z-order probe schedule.  The
+legacy path re-derived all of it per link — and again on every withdrawal
+re-check.  This module hoists the shared half out:
+
+* :class:`SubscriptionProfile` — one subscription's validated ranges plus (for
+  approximate covering) its :class:`~repro.core.covering.CoveringProfile`
+  (dominance point + lazily-materialised probe plan).
+* :class:`ProfileCache` — builds profiles and memoises them by quantised
+  ranges with LRU eviction.  A single cache can be shared by every broker of a
+  network: a subscription propagating along a path of ``h`` brokers then costs
+  **one** decomposition instead of ``h × degree`` of them.
+* :class:`SubscriptionStore` — the per-broker view: reference-counted
+  profiles keyed by subscription id, following the routing table's contents
+  (acquired when a subscription is stored, released when it is removed, wiped
+  on crash recovery).
+
+Profiles are an optimisation, never a semantic change: a profile-driven
+covering check replays the exact probe schedule the interleaved search would
+run, so forwarding decisions are identical with and without sharing (pinned
+by the batch-equivalence tests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..core.covering import CoveringProfile, CoveringProfiler
+from .subscription import Subscription
+
+__all__ = ["ProfileCache", "SubscriptionProfile", "SubscriptionStore"]
+
+#: Default cap on distinct range vectors a :class:`ProfileCache` memoises.
+DEFAULT_CACHE_ENTRIES = 100_000
+
+
+@dataclass(frozen=True)
+class SubscriptionProfile:
+    """Everything the forwarding path needs to know about one subscription.
+
+    ``covering`` is ``None`` when the broker's covering strategy has no
+    shareable precomputation (``none`` / ``exact`` / ``probabilistic``);
+    strategies then fall back to the plain ``ranges``.
+    """
+
+    subscription: Subscription
+    ranges: Tuple[Tuple[int, int], ...]
+    covering: Optional[CoveringProfile]
+
+
+class ProfileCache:
+    """Builds covering profiles, memoised by quantised ranges (LRU-bounded).
+
+    Keying by ranges rather than subscription id makes the cache safely
+    shareable across brokers and resilient to id reuse: two subscriptions
+    with identical rectangles share one plan.
+    """
+
+    def __init__(
+        self,
+        profiler: Optional[CoveringProfiler] = None,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.profiler = profiler
+        self.max_entries = max_entries
+        self._profiles: "OrderedDict[Tuple[Tuple[int, int], ...], CoveringProfile]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def covering_profile(
+        self, ranges: Tuple[Tuple[int, int], ...]
+    ) -> Optional[CoveringProfile]:
+        """Return the (cached) covering profile for ``ranges``, or ``None`` without a profiler."""
+        if self.profiler is None:
+            return None
+        cached = self._profiles.get(ranges)
+        if cached is not None:
+            self.hits += 1
+            self._profiles.move_to_end(ranges)
+            return cached
+        self.misses += 1
+        profile = self.profiler.profile(ranges)
+        self._profiles[ranges] = profile
+        if len(self._profiles) > self.max_entries:
+            self._profiles.popitem(last=False)
+            self.evictions += 1
+        return profile
+
+    def profile(self, subscription: Subscription) -> SubscriptionProfile:
+        """Build the full per-subscription profile (covering half memoised)."""
+        return SubscriptionProfile(
+            subscription=subscription,
+            ranges=subscription.ranges,
+            covering=self.covering_profile(subscription.ranges),
+        )
+
+
+class SubscriptionStore:
+    """Reference-counted per-broker profile registry.
+
+    Mirrors the broker's routing table: each interface that stores a
+    subscription acquires its profile; each removal releases it.  The profile
+    object itself may be shared with other brokers through the cache — the
+    store only tracks which ids this broker currently needs.
+    """
+
+    def __init__(self, cache: ProfileCache) -> None:
+        self.cache = cache
+        self._profiles: Dict[Hashable, SubscriptionProfile] = {}
+        self._refcounts: Dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, sub_id: Hashable) -> bool:
+        return sub_id in self._profiles
+
+    def acquire(self, subscription: Subscription) -> SubscriptionProfile:
+        """Register one more holder of ``subscription``'s profile and return it."""
+        sub_id = subscription.sub_id
+        profile = self._profiles.get(sub_id)
+        if profile is None:
+            profile = self.cache.profile(subscription)
+            self._profiles[sub_id] = profile
+            self._refcounts[sub_id] = 1
+        else:
+            self._refcounts[sub_id] += 1
+        return profile
+
+    def release(self, sub_id: Hashable) -> bool:
+        """Drop one holder; forget the profile when the last one is gone.
+
+        Returns True when the id was known (unknown ids are a no-op so that
+        duplicate or premature unsubscriptions stay harmless).
+        """
+        count = self._refcounts.get(sub_id)
+        if count is None:
+            return False
+        if count <= 1:
+            del self._refcounts[sub_id]
+            del self._profiles[sub_id]
+        else:
+            self._refcounts[sub_id] = count - 1
+        return True
+
+    def get(self, sub_id: Hashable) -> Optional[SubscriptionProfile]:
+        """Profile of a currently held subscription, or ``None``."""
+        return self._profiles.get(sub_id)
+
+    def clear(self) -> None:
+        """Forget every held profile (crash recovery wipes learnt state)."""
+        self._profiles.clear()
+        self._refcounts.clear()

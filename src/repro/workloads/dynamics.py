@@ -48,15 +48,24 @@ __all__ = [
     "subscription_churn_script",
     "rolling_failures_script",
     "run_dynamic_scenario",
+    "run_scripted_lockstep",
 ]
 
 
 @dataclass(frozen=True)
 class Action:
-    """One timed step of a dynamic scenario."""
+    """One timed step of a dynamic scenario.
+
+    ``kind`` is one of ``subscribe`` / ``unsubscribe`` / ``publish`` /
+    ``crash`` / ``recover`` / ``join`` — or the batched lifecycle steps
+    ``subscribe_batch`` (``broker_id`` + ``items`` of ``(client_id,
+    subscription)`` pairs) and ``unsubscribe_batch`` (``items`` of
+    ``(client_id, sub_id)`` pairs), which route through the network's
+    amortised batch APIs.
+    """
 
     time: float
-    kind: str  # "subscribe" | "unsubscribe" | "publish" | "crash" | "recover" | "join"
+    kind: str
     broker_id: Optional[Hashable] = None
     client_id: Optional[Hashable] = None
     subscription: Optional[Subscription] = None
@@ -64,6 +73,7 @@ class Action:
     event: Optional[Event] = None
     attach_to: Optional[Hashable] = None
     audit: bool = False
+    items: Optional[Tuple[Tuple[Hashable, object], ...]] = None
 
 
 @dataclass
@@ -207,6 +217,7 @@ def subscription_churn_script(
     settle: float = 5.0,
     join_broker: Optional[Hashable] = None,
     join_attach_to: Optional[Hashable] = None,
+    batch_size: int = 8,
     seed: Optional[int] = 0,
 ) -> List[Action]:
     """A subscription churn storm, optionally with a broker joining mid-run.
@@ -219,7 +230,17 @@ def subscription_churn_script(
     share of the new subscribers.  Probe publishes during the storm are
     unaudited (ground truth is ambiguous while subscriptions are in flight);
     after the storm settles every remaining event is published and audited.
+
+    The storm rides the network's batch lifecycle APIs: per target broker,
+    up to ``batch_size`` storm subscriptions coalesce into one
+    ``subscribe_batch`` action (fired at the latest member's nominal time),
+    and withdrawals likewise into ``unsubscribe_batch`` chunks —
+    per-subscription decisions are identical, the amortisation is what the
+    storm is probing.  Set ``batch_size=1`` to fall back to one action per
+    subscription.
     """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be at least 1, got {batch_size}")
     rng = random.Random(seed)
     prefix = f"churn-{scenario.name}"
     subscriptions = _subscriptions_of(scenario, prefix)
@@ -243,22 +264,64 @@ def subscription_churn_script(
                    attach_to=join_attach_to if join_attach_to is not None else list(broker_ids)[0])
         )
     placement_pool = list(broker_ids)
+    pending_subscribes: Dict[Hashable, List[Tuple[float, Hashable, Subscription]]] = {}
+
+    def flush_subscribes(target: Hashable) -> None:
+        group = pending_subscribes.pop(target, [])
+        if not group:
+            return
+        if len(group) == 1:
+            t, client_id, subscription = group[0]
+            actions.append(Action(time=t, kind="subscribe", broker_id=target,
+                                  client_id=client_id, subscription=subscription))
+            return
+        actions.append(
+            Action(
+                time=max(t for t, _, _ in group),
+                kind="subscribe_batch",
+                broker_id=target,
+                items=tuple((client_id, sub) for _, client_id, sub in group),
+            )
+        )
+
     for i, subscription in enumerate(storm_wave):
         t = storm_start + storm_duration * (i + 0.5) / max(1, len(storm_wave))
         if join_broker is not None and t > storm_start + storm_duration / 2.0 and rng.random() < 0.3:
             target = join_broker
         else:
             target = rng.choice(placement_pool)
-        actions.append(
-            Action(time=t, kind="subscribe", broker_id=target,
-                   client_id=f"{prefix}-client-{half + i}", subscription=subscription)
+        pending_subscribes.setdefault(target, []).append(
+            (t, f"{prefix}-client-{half + i}", subscription)
         )
+        if len(pending_subscribes[target]) >= batch_size:
+            flush_subscribes(target)
+    for target in list(pending_subscribes):
+        flush_subscribes(target)
+    pending_unsubscribes: List[Tuple[float, Hashable, Hashable]] = []
+
+    def flush_unsubscribes() -> None:
+        if not pending_unsubscribes:
+            return
+        if len(pending_unsubscribes) == 1:
+            t, client_id, sub_id = pending_unsubscribes[0]
+            actions.append(Action(time=t, kind="unsubscribe",
+                                  client_id=client_id, sub_id=sub_id))
+        else:
+            actions.append(
+                Action(
+                    time=max(t for t, _, _ in pending_unsubscribes),
+                    kind="unsubscribe_batch",
+                    items=tuple((client_id, sub_id) for _, client_id, sub_id in pending_unsubscribes),
+                )
+            )
+        pending_unsubscribes.clear()
+
     for i, subscription in enumerate(initial):
         t = storm_start + storm_duration * (i + 0.5) / max(1, len(initial))
-        actions.append(
-            Action(time=t, kind="unsubscribe", client_id=f"{prefix}-client-{i}",
-                   sub_id=subscription.sub_id)
-        )
+        pending_unsubscribes.append((t, f"{prefix}-client-{i}", subscription.sub_id))
+        if len(pending_unsubscribes) >= batch_size:
+            flush_unsubscribes()
+    flush_unsubscribes()
     events = _events_of(scenario, prefix)
     probes = events[: len(events) // 4]
     audited = events[len(events) // 4:]
@@ -345,6 +408,74 @@ def rolling_failures_script(
     return sorted(actions, key=lambda a: a.time)
 
 
+def _broker_usable(network: BrokerNetwork, broker_id) -> bool:
+    # A broker that was never registered (e.g. the target of a join that was
+    # itself skipped) is just as unusable as a crashed one.
+    return broker_id in network.brokers and network.transport.is_up(broker_id)
+
+
+def _action_skippable(network: BrokerNetwork, action: Action) -> bool:
+    """True when the action targets a broker that is down or missing right now.
+
+    Shared by :func:`run_dynamic_scenario` and :func:`run_scripted_lockstep`
+    so both runners skip under identical conditions.
+    """
+    if action.kind in ("subscribe", "subscribe_batch", "publish"):
+        return not _broker_usable(network, action.broker_id)
+    if action.kind == "unsubscribe":
+        home = network.client_home(action.client_id)
+        return home is not None and not network.transport.is_up(home)
+    if action.kind == "unsubscribe_batch":
+        homes = [network.client_home(client_id) for client_id, _ in action.items or ()]
+        return all(
+            home is not None and not network.transport.is_up(home) for home in homes
+        )
+    if action.kind == "join":
+        return action.broker_id in network.brokers or not _broker_usable(
+            network, action.attach_to
+        )
+    if action.kind == "crash":
+        return not _broker_usable(network, action.broker_id)
+    if action.kind == "recover":
+        return action.broker_id not in network.brokers or network.transport.is_up(
+            action.broker_id
+        )
+    return False
+
+
+def _apply_action(network: BrokerNetwork, action: Action) -> None:
+    """Run one (non-skippable) action against the network.
+
+    Publishes go through ``publish_async`` and batches through the
+    ``*_async`` APIs, so this is safe to call from inside a kernel callback;
+    the caller decides when to drain.
+    """
+    if action.kind == "subscribe":
+        network.subscribe(action.broker_id, action.client_id, action.subscription)
+    elif action.kind == "subscribe_batch":
+        network.subscribe_batch_async(action.broker_id, list(action.items or ()))
+    elif action.kind == "unsubscribe":
+        network.unsubscribe(action.client_id, action.sub_id)
+    elif action.kind == "unsubscribe_batch":
+        live = [
+            (client_id, sub_id)
+            for client_id, sub_id in action.items or ()
+            if (home := network.client_home(client_id)) is None
+            or network.transport.is_up(home)
+        ]
+        network.unsubscribe_batch_async(live)
+    elif action.kind == "publish":
+        network.publish_async(action.broker_id, action.event)
+    elif action.kind == "crash":
+        network.crash_broker(action.broker_id)
+    elif action.kind == "recover":
+        network.recover_broker(action.broker_id)
+    elif action.kind == "join":
+        network.join_broker(action.broker_id, action.attach_to)
+    else:
+        raise ValueError(f"unknown action kind {action.kind!r}")
+
+
 def run_dynamic_scenario(
     network: BrokerNetwork, actions: Sequence[Action], name: str = "dynamic"
 ) -> DynamicReport:
@@ -371,38 +502,12 @@ def run_dynamic_scenario(
     counters = {"run": 0, "skipped": 0, "published": 0}
     delivery_start = len(network.deliveries)
 
-    def _usable(broker_id) -> bool:
-        # A broker that was never registered (e.g. the target of a join that
-        # was itself skipped) is just as unusable as a crashed one.
-        return broker_id in network.brokers and network.transport.is_up(broker_id)
-
-    def _is_skippable(action: Action) -> bool:
-        """True when the action targets a broker that is down or missing right now."""
-        if action.kind in ("subscribe", "publish"):
-            return not _usable(action.broker_id)
-        if action.kind == "unsubscribe":
-            home = network.client_home(action.client_id)
-            return home is not None and not network.transport.is_up(home)
-        if action.kind == "join":
-            return action.broker_id in network.brokers or not _usable(action.attach_to)
-        if action.kind == "crash":
-            return not _usable(action.broker_id)
-        if action.kind == "recover":
-            return action.broker_id not in network.brokers or network.transport.is_up(
-                action.broker_id
-            )
-        return False
-
     def execute(action: Action) -> None:
-        if _is_skippable(action):
+        if _action_skippable(network, action):
             counters["skipped"] += 1
             return
         counters["run"] += 1
-        if action.kind == "subscribe":
-            network.subscribe(action.broker_id, action.client_id, action.subscription)
-        elif action.kind == "unsubscribe":
-            network.unsubscribe(action.client_id, action.sub_id)
-        elif action.kind == "publish":
+        if action.kind == "publish":
             counters["published"] += 1
             if action.audit:
                 audits.append(
@@ -413,15 +518,7 @@ def run_dynamic_scenario(
                         expected=network.expected_recipients(action.event, origin=action.broker_id),
                     )
                 )
-            network.publish_async(action.broker_id, action.event)
-        elif action.kind == "crash":
-            network.crash_broker(action.broker_id)
-        elif action.kind == "recover":
-            network.recover_broker(action.broker_id)
-        elif action.kind == "join":
-            network.join_broker(action.broker_id, action.attach_to)
-        else:
-            raise ValueError(f"unknown action kind {action.kind!r}")
+        _apply_action(network, action)
 
     # Action times are relative to the scenario start, so a second scenario
     # can run on the same network after the first has drained.
@@ -444,3 +541,26 @@ def run_dynamic_scenario(
         audits=audits,
         stats=network.collect_stats(),
     )
+
+
+def run_scripted_lockstep(network: BrokerNetwork, actions: Sequence[Action]) -> int:
+    """Run a script action-by-action, draining the transport between actions.
+
+    Unlike :func:`run_dynamic_scenario`, nothing overlaps in (simulated)
+    flight: every action fully propagates before the next fires, so the same
+    script leaves any two deterministic transports — synchronous inline
+    delivery or a latency/queueing simulation — in the *identical* per-broker
+    routing/covering state (the cross-transport equivalence tests pin this
+    with :meth:`BrokerNetwork.routing_state`).  Works on any transport; no
+    kernel is required.  Actions targeting brokers that are down or missing
+    are skipped like in the scenario runner.  Returns the number of actions
+    executed.
+    """
+    executed = 0
+    for action in sorted(actions, key=lambda a: a.time):
+        if _action_skippable(network, action):
+            continue
+        _apply_action(network, action)
+        executed += 1
+        network.flush()
+    return executed

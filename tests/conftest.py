@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.geometry.universe import Universe
+
+# Hypothesis effort profiles: "dev" is the default interactive run, "ci" digs
+# deeper (ci.sh tier-1 pass), "smoke" keeps property tests near-instant for
+# quick sanity loops.  Select with HYPOTHESIS_PROFILE=<name>.
+settings.register_profile(
+    "ci", max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.register_profile(
+    "dev", max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.register_profile(
+    "smoke", max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.sfc.gray import GrayCodeCurve
 from repro.sfc.hilbert import HilbertCurve
 from repro.sfc.zorder import ZOrderCurve

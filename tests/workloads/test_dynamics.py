@@ -58,14 +58,34 @@ class TestScriptShapes:
     def test_churn_storm_flips_subscriptions(self):
         scenario = small_scenario(stock_market_scenario)
         script = subscription_churn_script(scenario, BROKER_IDS, seed=3)
-        kinds = [a.kind for a in script]
-        assert kinds.count("unsubscribe") == len(scenario.subscriptions) // 2
-        assert kinds.count("subscribe") == len(scenario.subscriptions)
+        lifecycle = ("subscribe", "subscribe_batch", "unsubscribe", "unsubscribe_batch")
+        unsubscribed = sum(
+            len(a.items) if a.kind == "unsubscribe_batch" else 1
+            for a in script
+            if a.kind in ("unsubscribe", "unsubscribe_batch")
+        )
+        subscribed = sum(
+            len(a.items) if a.kind == "subscribe_batch" else 1
+            for a in script
+            if a.kind in ("subscribe", "subscribe_batch")
+        )
+        assert unsubscribed == len(scenario.subscriptions) // 2
+        assert subscribed == len(scenario.subscriptions)
+        # The storm rides the batch APIs (PR 3): at least one batch action.
+        assert any(a.kind in ("subscribe_batch", "unsubscribe_batch") for a in script)
         # Audited publishes come only after the storm has settled.
-        storm_end = max(a.time for a in script if a.kind in ("subscribe", "unsubscribe"))
+        storm_end = max(a.time for a in script if a.kind in lifecycle)
         for action in script:
             if action.kind == "publish" and action.audit:
                 assert action.time > storm_end
+
+    def test_churn_storm_batch_size_one_is_per_subscription(self):
+        scenario = small_scenario(stock_market_scenario)
+        script = subscription_churn_script(scenario, BROKER_IDS, seed=3, batch_size=1)
+        assert not any(a.kind in ("subscribe_batch", "unsubscribe_batch") for a in script)
+        kinds = [a.kind for a in script]
+        assert kinds.count("unsubscribe") == len(scenario.subscriptions) // 2
+        assert kinds.count("subscribe") == len(scenario.subscriptions)
 
     def test_rolling_failures_pairs_crash_and_recover(self):
         scenario = small_scenario(auction_scenario)
