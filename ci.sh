@@ -11,16 +11,23 @@ cd "$(dirname "$0")"
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 echo "== tier-1 tests (hypothesis profile: ${HYPOTHESIS_PROFILE:-ci}) =="
+# Includes the cross-curve differential suite
+# (tests/pubsub/test_curve_differential.py): identical scripted workloads
+# under zorder/hilbert/gray must match the linear-scan flat oracle.
 HYPOTHESIS_PROFILE="${HYPOTHESIS_PROFILE:-ci}" python -m pytest -x -q tests
 
 echo "== benchmark smoke (tiny sizes) =="
 # bench_subscription_churn's smoke pass *asserts* the batch subscribe/withdraw
 # APIs leave byte-identical routing state to a sequential replay — any
 # divergence fails CI here.
+# bench_curve_ablation's smoke pass asserts the per-event delivery sets are
+# identical under every curve (the driver raises on any divergence) and that
+# Hilbert needs fewer key runs than Z on the Fig. 1-style rectangle family.
 REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_pubsub_propagation.py \
     benchmarks/bench_event_matching.py \
     benchmarks/bench_subscription_churn.py \
+    benchmarks/bench_curve_ablation.py \
     benchmarks/bench_sim_latency.py
 
 echo "== example smoke (tiny sizes) =="

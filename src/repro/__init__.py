@@ -38,6 +38,7 @@ from .index.sfc_array import SFCArray
 from .pubsub.network import BrokerNetwork
 from .pubsub.schema import Attribute, AttributeSchema
 from .pubsub.subscription import Event, Subscription
+from .sfc.factory import CURVE_KINDS, make_curve
 from .sfc.gray import GrayCodeCurve
 from .sfc.hilbert import HilbertCurve
 from .sfc.zorder import ZOrderCurve
@@ -63,5 +64,7 @@ __all__ = [
     "GrayCodeCurve",
     "HilbertCurve",
     "ZOrderCurve",
+    "CURVE_KINDS",
+    "make_curve",
     "__version__",
 ]

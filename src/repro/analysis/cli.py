@@ -14,16 +14,18 @@ to regenerate a single table without going through pytest.
 from __future__ import annotations
 
 import argparse
+import inspect
 import pathlib
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..sfc.factory import CURVE_KINDS
 from . import experiments
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _churn_cli_sized() -> object:
+def _churn_cli_sized(curve: str = "zorder") -> object:
     """E-SUB-CHURN: batched subscription churn vs the per-subscription baseline (CLI-sized)."""
     return experiments.run_subscription_churn_experiment(
         sizes=(1_500,),
@@ -31,10 +33,25 @@ def _churn_cli_sized() -> object:
         audit_events=10,
         max_cover_withdrawals=20,
         narrow_withdrawals=60,
+        curve=curve,
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[], object]] = {
+def _curve_ablation_cli_sized(curve: Optional[str] = None) -> object:
+    """E-CURVE: Z-order vs Hilbert vs Gray through the full routing stack (CLI-sized)."""
+    return experiments.run_curve_ablation_experiment(
+        # The ablation sweeps all curves by default; --curve narrows it.
+        curves=("zorder", "hilbert", "gray") if curve is None else (curve,),
+        num_subscriptions=120,
+        num_events=60,
+        order=7,
+        cube_budget=500,
+        audit_events=8,
+        fig1_rectangles=120,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "fig1": experiments.run_fig1_experiment,
     "fig2": experiments.run_fig2_experiment,
     "thm31": experiments.run_thm31_experiment,
@@ -46,9 +63,22 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     # The full 10k-50k churn measurement lives in
     # benchmarks/bench_subscription_churn.py.
     "churn": _churn_cli_sized,
+    # The full-size sweep lives in benchmarks/bench_curve_ablation.py.
+    "curve-ablation": _curve_ablation_cli_sized,
     "dimensionality": experiments.run_dimensionality_experiment,
     "throughput": experiments.run_throughput_experiment,
 }
+
+
+def _accepts_curve(fn: Callable[..., object]) -> bool:
+    """True when the experiment callable takes an explicit ``curve`` axis.
+
+    Deliberately strict — no ``**kwargs`` pass-through counts — so a driver
+    without a curve parameter can never receive (or silently swallow) the
+    ``--curve`` flag; CLI wrappers that forward it declare ``curve``
+    explicitly.
+    """
+    return "curve" in inspect.signature(fn).parameters
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,11 +96,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to also write each table to (one .txt file per experiment)",
     )
+    run.add_argument(
+        "--curve",
+        choices=CURVE_KINDS,
+        default=None,
+        help=(
+            "space-filling-curve axis for the drivers that take one "
+            "(pubsub, churn, curve-ablation); drivers without a curve axis "
+            "ignore it"
+        ),
+    )
     return parser
 
 
-def _run_one(name: str, output: pathlib.Path | None) -> None:
-    table = EXPERIMENTS[name]()
+def _run_one(name: str, output: pathlib.Path | None, curve: Optional[str] = None) -> None:
+    fn = EXPERIMENTS[name]
+    kwargs = {"curve": curve} if curve is not None and _accepts_curve(fn) else {}
+    table = fn(**kwargs)
     text = table.to_text()  # type: ignore[attr-defined]
     print(text)
     print()
@@ -89,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        _run_one(name, args.output)
+        _run_one(name, args.output, curve=args.curve)
     return 0
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..baselines.linear_scan import LinearScanCoveringDetector
 from ..baselines.probabilistic import ProbabilisticCoveringDetector
@@ -57,6 +57,7 @@ __all__ = [
     "run_sim_latency_experiment",
     "run_subscription_churn_experiment",
     "run_event_matching_experiment",
+    "run_curve_ablation_experiment",
     "run_dimensionality_experiment",
     "run_throughput_experiment",
 ]
@@ -470,6 +471,7 @@ def run_pubsub_experiment(
     seed: int = 9,
     cube_budget: int = 4_000,
     matching: str = "linear",
+    curve: str = "zorder",
 ) -> ResultTable:
     """E-PUBSUB: routing-table size and propagation traffic per covering strategy.
 
@@ -477,8 +479,9 @@ def run_pubsub_experiment(
     regime covering is designed for); the per-check work of the approximate
     strategy is bounded by ``cube_budget`` like a real router would bound it.
     ``matching`` selects the event-matching implementation of every broker
-    (``"linear"`` scan or the ``"sfc"`` match index); the delivery audit runs
-    identically under both.
+    (``"linear"`` scan or the ``"sfc"`` match index) and ``curve`` the
+    space-filling curve behind both the match index and the approximate
+    strategy; the delivery audit runs identically under every combination.
     """
     import random as _random
 
@@ -510,6 +513,7 @@ def run_pubsub_experiment(
             seed=seed,
             cube_budget=cube_budget,
             matching=matching,
+            curve=curve,
         )
         start = time.perf_counter()
         for spec, broker_id in zip(specs, placements):
@@ -535,6 +539,7 @@ def run_pubsub_experiment(
         table.add(
             strategy=strategy if strategy != "approximate" else f"approximate(ε={epsilon})",
             matching=matching,
+            curve=curve,
             routing_table_entries=stats.routing_table_entries,
             subscription_messages=stats.subscription_messages,
             suppressed=stats.total_suppressed,
@@ -559,6 +564,7 @@ def run_subscription_churn_experiment(
     audit_events: int = 25,
     topologies: Sequence[str] = ("tree", "chain", "star"),
     transports: Sequence[str] = ("sync", "sim"),
+    curve: str = "zorder",
     seed: int = 11,
     verify_state: bool = False,
 ) -> ResultTable:
@@ -654,6 +660,7 @@ def run_subscription_churn_experiment(
             covering="approximate",
             epsilon=epsilon,
             cube_budget=cube_budget,
+            curve=curve,
             promotion=promotion,
             profile_sharing=sharing,
             transport=transport_obj,
@@ -768,6 +775,7 @@ def run_event_matching_experiment(
     seed: int = 17,
     backend: str = "avl",
     run_budget: int = 64,
+    curve: str = "zorder",
 ) -> ResultTable:
     """E-MATCH: per-interface event matching, linear scan vs the SFC match index.
 
@@ -807,7 +815,12 @@ def run_event_matching_experiment(
         )
         linear = InterfaceTable("bench", schema=schema, matching="linear")
         sfc = InterfaceTable(
-            "bench", schema=schema, matching="sfc", backend=backend, run_budget=run_budget
+            "bench",
+            schema=schema,
+            matching="sfc",
+            backend=backend,
+            run_budget=run_budget,
+            curve=curve,
         )
         subscriptions = _spec_subscriptions(schema, specs)
         for subscription in subscriptions:
@@ -841,6 +854,7 @@ def run_event_matching_experiment(
         table.add(
             subscriptions=size,
             events=num_events,
+            curve=curve,
             linear_seconds=round(linear_seconds, 5),
             sfc_seconds=round(sfc_seconds, 5),
             speedup=round(linear_seconds / sfc_seconds, 2) if sfc_seconds else float("inf"),
@@ -848,6 +862,202 @@ def run_event_matching_experiment(
             segments=index.segment_count(),
             candidates_checked=index.stats.candidates_checked,
             false_positives=index.stats.false_positives,
+        )
+    return table
+
+
+# ---------------------------------------------------------------- curve ablation
+def run_curve_ablation_experiment(
+    curves: Sequence[str] = ("zorder", "hilbert", "gray"),
+    scenario_names: Sequence[str] = ("stock", "sensor", "auction"),
+    num_brokers: int = 7,
+    num_subscriptions: int = 240,
+    num_events: int = 120,
+    order: int = 9,
+    epsilon: float = 0.2,
+    cube_budget: int = 2_000,
+    withdraw_fraction: float = 0.5,
+    audit_events: int = 12,
+    fig1_rectangles: int = 200,
+    fig1_order: int = 6,
+    seed: int = 31,
+) -> ResultTable:
+    """E-CURVE: the routing stack under Z-order vs Hilbert vs Gray, end to end.
+
+    Two row kinds:
+
+    * ``phase="routing"`` — for each application scenario × curve, a broker
+      tree runs the full lifecycle with SFC matching and approximate covering
+      keyed by that curve: batch subscribe (covering path), batch publish
+      (matching path), batch withdrawal (churn/promotion path), then a
+      delivery audit.  Rows report per-phase throughput plus the structure
+      stats where the curve choice shows up — total match-index segments,
+      match false positives, covering runs probed.  The driver *asserts* the
+      cross-curve differential inline: per-event delivery sets must be
+      identical under every curve (curves may change stats, never semantics),
+      and no audited event may miss a subscriber.
+    * ``phase="runs"`` — the Fig. 1 claim at workload scale: exact run counts
+      of a seeded family of 2-D rectangles under each curve (the per-curve
+      analogue of ``run_fig1_experiment``'s three hand-picked instances).
+      Hilbert is expected to need fewer runs than Z in aggregate.
+    """
+    import random as _random
+
+    from ..core.decomposition import decompose_rectangle
+    from ..sfc.factory import make_curve
+    from ..sfc.runs import merge_key_ranges
+    from ..workloads.scenarios import (
+        auction_scenario,
+        sensor_network_scenario,
+        stock_market_scenario,
+    )
+
+    scenario_factories = {
+        "stock": stock_market_scenario,
+        "sensor": sensor_network_scenario,
+        "auction": auction_scenario,
+    }
+    table = ResultTable("E-CURVE: matching/covering/churn throughput per space filling curve")
+
+    for scenario_name in scenario_names:
+        scenario = scenario_factories[scenario_name](
+            num_subscriptions=num_subscriptions,
+            num_events=num_events,
+            order=order,
+            seed=seed,
+        )
+        schema = scenario.schema
+        subscriptions = [
+            Subscription(schema, constraints, sub_id=f"{scenario_name}-sub-{i}")
+            for i, constraints in enumerate(scenario.subscriptions)
+        ]
+        events = [
+            Event(schema, values, event_id=f"{scenario_name}-event-{i}")
+            for i, values in enumerate(scenario.events)
+        ]
+        rng = _random.Random(seed + 1)
+        batches: Dict[int, List[Tuple[str, Subscription]]] = {}
+        for sub in subscriptions:
+            batches.setdefault(rng.randrange(num_brokers), []).append(
+                (f"client-{sub.sub_id}", sub)
+            )
+        publish_groups: Dict[int, List[Event]] = {}
+        for event in events:
+            publish_groups.setdefault(rng.randrange(num_brokers), []).append(event)
+        withdrawals = [
+            (f"client-{sub.sub_id}", sub.sub_id)
+            for sub in subscriptions[: int(len(subscriptions) * withdraw_fraction)]
+        ]
+        audit_origins = [rng.randrange(num_brokers) for _ in range(audit_events)]
+
+        delivered_by_curve: Dict[str, Dict[Hashable, frozenset]] = {}
+        for curve in curves:
+            network = BrokerNetwork.from_topology(
+                schema,
+                tree_topology(num_brokers),
+                covering="approximate",
+                epsilon=epsilon,
+                cube_budget=cube_budget,
+                matching="sfc",
+                curve=curve,
+            )
+            start = time.perf_counter()
+            for broker_id, items in batches.items():
+                network.subscribe_batch(broker_id, items)
+            subscribe_seconds = time.perf_counter() - start
+
+            delivered: Dict[Hashable, frozenset] = {}
+            start = time.perf_counter()
+            for broker_id, group in publish_groups.items():
+                for event, clients in zip(group, network.publish_batch(broker_id, group)):
+                    delivered[event.event_id] = frozenset(clients)
+            publish_seconds = time.perf_counter() - start
+            delivered_by_curve[curve] = delivered
+
+            start = time.perf_counter()
+            network.unsubscribe_batch(withdrawals)
+            withdraw_seconds = time.perf_counter() - start
+
+            missed_total = extra_total = 0
+            for event, origin in zip(events[:audit_events], audit_origins):
+                missed, extra = network.publish_and_audit(origin, event)
+                missed_total += len(missed)
+                extra_total += len(extra)
+            if missed_total:
+                raise AssertionError(
+                    f"curve {curve!r} lost {missed_total} deliveries on "
+                    f"{scenario_name} — curves must never change semantics"
+                )
+
+            stats = network.collect_stats()
+            covering_runs = sum(b.covering_check_runs for b in stats.per_broker.values())
+            false_positives = sum(
+                b.match_index_false_positives for b in stats.per_broker.values()
+            )
+            segments = sum(
+                broker.routing_table.match_segments()
+                for broker in network.brokers.values()
+            )
+            table.add(
+                phase="routing",
+                scenario=scenario_name,
+                curve=curve,
+                subscribe_s=round(subscribe_seconds, 4),
+                publish_s=round(publish_seconds, 4),
+                withdraw_s=round(withdraw_seconds, 4),
+                events_per_s=round(num_events / publish_seconds, 1)
+                if publish_seconds
+                else float("inf"),
+                subs_per_s=round(len(subscriptions) / subscribe_seconds, 1)
+                if subscribe_seconds
+                else float("inf"),
+                withdrawals_per_s=round(len(withdrawals) / withdraw_seconds, 1)
+                if withdraw_seconds
+                else float("inf"),
+                segments=segments,
+                match_false_positives=false_positives,
+                covering_runs_probed=covering_runs,
+                missed=missed_total,
+                extra=extra_total,
+            )
+        baseline = delivered_by_curve[curves[0]]
+        for curve in curves[1:]:
+            if delivered_by_curve[curve] != baseline:
+                differing = [
+                    event_id
+                    for event_id in baseline
+                    if delivered_by_curve[curve].get(event_id) != baseline[event_id]
+                ]
+                raise AssertionError(
+                    f"delivery sets differ between {curves[0]!r} and {curve!r} on "
+                    f"{scenario_name} for events {differing[:5]} — curves must "
+                    "never change semantics"
+                )
+
+    # Fig. 1 at workload scale: exact run counts for a seeded rectangle family.
+    universe = Universe(dims=2, order=fig1_order)
+    rect_workload = SubscriptionWorkload(
+        attributes=2, attribute_order=fig1_order, width_fraction=0.4, seed=seed + 2
+    )
+    rectangles = [
+        Rectangle(tuple(lo for lo, _ in spec.ranges), tuple(hi for _, hi in spec.ranges))
+        for spec in rect_workload.generate(fig1_rectangles, prefix="fig1")
+    ]
+    cube_partitions = [decompose_rectangle(universe, rect) for rect in rectangles]
+    for curve_kind in curves:
+        curve = make_curve(curve_kind, universe)
+        run_counts = [
+            len(merge_key_ranges(curve.cube_key_range(cube) for cube in cubes))
+            for cubes in cube_partitions
+        ]
+        table.add(
+            phase="runs",
+            scenario="fig1-style",
+            curve=curve_kind,
+            rectangles=len(rectangles),
+            total_runs=sum(run_counts),
+            mean_runs=round(sum(run_counts) / len(run_counts), 2),
+            max_runs=max(run_counts),
         )
     return table
 
@@ -986,6 +1196,7 @@ def run_sim_latency_experiment(
     service_time: float = 0.02,
     epsilon: float = 0.2,
     matching: str = "linear",
+    curve: str = "zorder",
     seed: int = 29,
 ) -> ResultTable:
     """E-SIM-LATENCY: flash-crowd delivery latency under simulated transports.
@@ -1034,6 +1245,7 @@ def run_sim_latency_experiment(
                 covering="approximate",
                 epsilon=epsilon,
                 matching=matching,
+                curve=curve,
                 transport=transport,
             )
             report = run_dynamic_scenario(

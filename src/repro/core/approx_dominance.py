@@ -129,11 +129,13 @@ class DominancePlan:
     """The reusable half of a dominance query: its probe schedule.
 
     Decomposing the query's dominance region into standard cubes and merging
-    their key runs depends only on the query point, the universe, ε and the
-    cube budget — not on the index contents.  A plan captures that schedule
-    once so that the same query point can be probed against many indexes
-    (one covering strategy per broker link) without re-running the
-    decomposition each time.
+    their key runs depends only on the query point, the universe, the curve,
+    ε and the cube budget — not on the index contents.  A plan captures that
+    schedule once so that the same query point can be probed against many
+    indexes (one covering strategy per broker link) without re-running the
+    decomposition each time.  The key ranges are curve-specific, so the plan
+    records the curve it was built for and can only be executed against an
+    index using the same curve.
 
     Steps are materialised lazily: the underlying enumeration is pulled only
     as far as an execution needs it, so a query that finds a witness in the
@@ -150,6 +152,7 @@ class DominancePlan:
         region_volume: int,
         aspect_ratio: int,
         producer: Iterator[PlanStep],
+        curve_kind: str,
     ) -> None:
         self.universe = universe
         self.point = point
@@ -157,6 +160,7 @@ class DominancePlan:
         self.cube_budget = cube_budget
         self.region_volume = region_volume
         self.aspect_ratio = aspect_ratio
+        self.curve_kind = curve_kind
         self._steps: List[PlanStep] = []
         self._producer: Optional[Iterator[PlanStep]] = producer
         #: Termination reason when an execution exhausts every step without a
@@ -207,6 +211,14 @@ def build_dominance_plan(
         raise ValueError(f"cube_budget must be positive, got {cube_budget}")
     if curve is None:
         curve = ZOrderCurve(universe)
+    elif curve.universe != universe:
+        # A curve over a different universe (fewer dimensions, or an order
+        # that does not match the universe's bit depth) would produce keys of
+        # the wrong width and silently mis-route every probe.
+        raise ValueError(
+            f"curve universe {curve.universe} does not match the plan universe "
+            f"{universe}; keys would be mis-sized"
+        )
     region = ExtremalRectangle.from_query_point(universe, point)
     region_volume = region.volume
     target_volume = (1.0 - epsilon) * region_volume
@@ -220,6 +232,7 @@ def build_dominance_plan(
         region_volume=region_volume,
         aspect_ratio=region.aspect_ratio,
         producer=iter(()),  # replaced below; needs `plan` in scope
+        curve_kind=curve.kind,
     )
 
     def produce() -> Iterator[PlanStep]:
@@ -392,10 +405,17 @@ class ApproximateDominanceIndex:
         Returns exactly what :meth:`query` would for the plan's point and ε:
         the plan replays the same probe order, batch boundaries and budget /
         coverage cut-offs, only the decomposition work is skipped.  The plan
-        must have been built for this index's universe.
+        must have been built for this index's universe *and* curve — a plan's
+        key ranges are curve-specific.
         """
         if plan.universe != self.universe:
             raise ValueError("plan universe does not match the index universe")
+        assert self.curve is not None
+        if plan.curve_kind != self.curve.kind:
+            raise ValueError(
+                f"plan was built for the {plan.curve_kind!r} curve but the index "
+                f"uses {self.curve.kind!r}; its key ranges do not apply"
+            )
         runs_probed = 0
         cubes = 0
         volume = 0

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..geometry.transform import DominanceTransform, Range
-from ..sfc.zorder import ZOrderCurve
+from ..sfc.factory import DEFAULT_CURVE, make_curve
 from .approx_dominance import (
     ApproximateDominanceIndex,
     DominanceQueryResult,
@@ -84,8 +84,8 @@ class CoveringProfiler:
 
     One profiler per broker: it mirrors the parameters every per-link
     :class:`ApproximateCoveringDetector` of that broker was built with
-    (attribute count/order, ε, cube budget), so its profiles can be handed to
-    any of them.
+    (attribute count/order, ε, cube budget, curve), so its profiles can be
+    handed to any of them.
     """
 
     def __init__(
@@ -94,13 +94,32 @@ class CoveringProfiler:
         attribute_order: int,
         epsilon: float = 0.05,
         cube_budget: int = 1_000_000,
+        curve: str = DEFAULT_CURVE,
     ) -> None:
         self.attributes = attributes
         self.attribute_order = attribute_order
         self.epsilon = epsilon
         self.cube_budget = cube_budget
+        self.curve = curve
         self.transform = DominanceTransform(attributes, attribute_order)
-        self._curve = ZOrderCurve(self.transform.universe)
+        self._curve = make_curve(curve, self.transform.universe)
+
+    @property
+    def cache_key(self) -> Tuple:
+        """Everything that affects the profiles this profiler builds.
+
+        Two profilers with equal cache keys produce interchangeable profiles;
+        :class:`~repro.pubsub.subscription_store.ProfileCache` namespaces its
+        entries by this key so that (in particular) the same subscription
+        profiled under two different curves never shares a cached plan.
+        """
+        return (
+            self.curve,
+            self.attributes,
+            self.attribute_order,
+            self.epsilon,
+            self.cube_budget,
+        )
 
     def profile(self, ranges: Sequence[Range]) -> CoveringProfile:
         """Validate ``ranges`` and build their point + probe schedule."""
@@ -132,6 +151,10 @@ class ApproximateCoveringDetector:
         SFC-array backend name (``"avl"``, ``"skiplist"``, ``"sortedlist"``).
     cube_budget:
         Per-query cap on examined standard cubes (passed to the dominance index).
+    curve:
+        Space-filling-curve kind keying the dominance index
+        (:data:`~repro.sfc.factory.CURVE_KINDS`); any recursive-partitioning
+        curve gives the same answers, only the probe key ranges differ.
     """
 
     attributes: int
@@ -139,6 +162,7 @@ class ApproximateCoveringDetector:
     epsilon: float = 0.05
     backend: str = "avl"
     cube_budget: int = 1_000_000
+    curve: str = DEFAULT_CURVE
     seed: Optional[int] = None
     transform: DominanceTransform = field(init=False)
     index: ApproximateDominanceIndex = field(init=False)
@@ -148,6 +172,7 @@ class ApproximateCoveringDetector:
         self.index = ApproximateDominanceIndex(
             universe=self.transform.universe,
             epsilon=self.epsilon,
+            curve=make_curve(self.curve, self.transform.universe),
             backend=self.backend,
             cube_budget=self.cube_budget,
             seed=self.seed,
@@ -218,11 +243,14 @@ class ApproximateCoveringDetector:
     def compatible_profile(self, profile: CoveringProfile) -> bool:
         """True when ``profile`` was built with this detector's parameters.
 
-        All three answer-affecting parameters must match — universe, ε and
-        the cube budget (the plan bakes its budget cut-off in at build time).
+        All four answer-affecting parameters must match — universe, curve, ε
+        and the cube budget (the plan bakes its key ranges and budget cut-off
+        in at build time; ranges from a different curve do not apply).
         """
+        assert self.index.curve is not None
         return (
             profile.plan.universe == self.transform.universe
+            and profile.plan.curve_kind == self.index.curve.kind
             and profile.plan.epsilon == self.epsilon
             and profile.plan.cube_budget == self.cube_budget
         )

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.covering import CoveringProfiler
+from ..sfc.factory import CURVE_KINDS, DEFAULT_CURVE
 from .match_index import DEFAULT_RUN_BUDGET
 from .routing_table import (
     DEFAULT_CUBE_BUDGET,
@@ -82,10 +83,15 @@ class Broker:
         Ordered-map backend for the approximate strategy and the match index.
     matching:
         Event-matching implementation per interface table: ``"linear"`` scans
-        stored subscriptions, ``"sfc"`` routes events through the Z-order
-        match index (identical answers, indexed cost).
+        stored subscriptions, ``"sfc"`` routes events through the SFC match
+        index (identical answers, indexed cost).
     run_budget:
         Per-subscription cap on key ranges stored by the ``"sfc"`` match index.
+    curve:
+        Space-filling-curve kind (:data:`~repro.sfc.factory.CURVE_KINDS`) used
+        by both the ``"sfc"`` match index and the ``"approximate"`` covering
+        strategy.  Curves change run/segment statistics, never semantics:
+        delivery and audit results are identical under every kind.
     promotion:
         Withdrawal-promotion engine (see :data:`PROMOTION_KINDS`).
     profile_sharing:
@@ -110,6 +116,7 @@ class Broker:
     cube_budget: int = DEFAULT_CUBE_BUDGET
     matching: str = "linear"
     run_budget: int = DEFAULT_RUN_BUDGET
+    curve: str = DEFAULT_CURVE
     promotion: str = "incremental"
     profile_sharing: bool = True
     profile_cache: Optional[ProfileCache] = None
@@ -120,6 +127,10 @@ class Broker:
             raise ValueError(
                 f"unknown promotion kind {self.promotion!r}; expected one of {PROMOTION_KINDS}"
             )
+        if self.curve not in CURVE_KINDS:
+            raise ValueError(
+                f"unknown curve kind {self.curve!r}; expected one of {CURVE_KINDS}"
+            )
         self.routing_table = self._fresh_routing_table()
         if self.profile_cache is None:
             profiler = (
@@ -128,6 +139,7 @@ class Broker:
                     self.schema.order,
                     epsilon=self.epsilon,
                     cube_budget=self.cube_budget,
+                    curve=self.curve,
                 )
                 if self.covering == "approximate"
                 else None
@@ -165,6 +177,7 @@ class Broker:
             matching=self.matching,
             backend=self.backend,
             run_budget=self.run_budget,
+            curve=self.curve,
             seed=self.seed,
         )
 
@@ -178,6 +191,7 @@ class Broker:
             samples=self.samples,
             seed=self.seed,
             cube_budget=self.cube_budget,
+            curve=self.curve,
         )
         self._forwarded_ids[neighbor_id] = {}
         self._suppressed[neighbor_id] = {}
@@ -595,7 +609,7 @@ class Broker:
     def publish_batch(self, events: Sequence[Event]) -> None:
         """Inject a batch of locally published events.
 
-        Under SFC matching the events' Z-order keys are computed in one pass
+        Under SFC matching the events' curve keys are computed in one pass
         (sharing per-coordinate spreading work across the batch) and threaded
         through routing, so each key is built once instead of once per
         interface probe.

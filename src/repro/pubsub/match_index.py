@@ -9,9 +9,11 @@ hot path the same way Section 5 applies it to covering detection.
 
 The idea: a subscription is a rectangle on the quantised attribute grid, and
 by Fact 2.1 a rectangle decomposes into a bounded number of *runs* —
-contiguous Z-order key segments.  An event is a single cell, i.e. a single
-key.  "Event matches subscription" is exactly "``key(p)`` lies inside one of
-the subscription's runs".  The index therefore stores the runs of every
+contiguous key segments under any recursive-partitioning curve (Z-order by
+default; Hilbert and Gray plug in through the same interface).  An event is a
+single cell, i.e. a single key.  "Event matches subscription" is exactly
+"``key(p)`` lies inside one of the subscription's runs".  The index
+therefore stores the runs of every
 subscription, flattened into *disjoint* key segments each labelled with the
 set of subscriptions whose runs cover it.  Because the segments are disjoint,
 the segment containing ``key(p)`` — if any — is found by one
@@ -55,8 +57,8 @@ from ..geometry.rect import Rectangle
 from ..geometry.universe import Universe
 from ..index.backends import make_backend
 from ..sfc.base import KeyRange
+from ..sfc.factory import DEFAULT_CURVE, make_curve
 from ..sfc.runs import merge_key_ranges
-from ..sfc.zorder import ZOrderCurve
 from .schema import AttributeSchema
 
 __all__ = [
@@ -64,6 +66,7 @@ __all__ = [
     "MatchIndexStats",
     "DEFAULT_RUN_BUDGET",
     "DEFAULT_PRECISION_BITS",
+    "PRECISION_BIT_BUDGET",
     "spread_bits",
 ]
 
@@ -76,6 +79,17 @@ DEFAULT_RUN_BUDGET = 64
 #: with this many bits per dimension before cube decomposition, bounding the
 #: quadtree work independently of the schema order.
 DEFAULT_PRECISION_BITS = 6
+
+#: Cap on the *total* decomposition bits (``dims × precision``) of the
+#: *default* precision.  The quadtree explores ``O(2^{d·p})`` cells in the
+#: worst case, so a fixed per-dimension default — tuned on two-attribute
+#: workloads — silently blows up on wider schemas (a three-attribute insert
+#: at precision 6 walks millions of cells).  The default precision is scaled
+#: down so the total stays at the two-attribute default's budget; matching
+#: answers are unaffected (coarser snapping only widens the
+#: over-approximation the rectangle fallback check already absorbs).  An
+#: *explicitly* requested precision is honoured as given.
+PRECISION_BIT_BUDGET = 2 * DEFAULT_PRECISION_BITS
 
 
 @dataclass
@@ -121,7 +135,14 @@ class MatchIndex:
     precision_bits:
         Grid resolution (bits per dimension) at which rectangles are
         decomposed; schemas with a larger order have their rectangles snapped
-        outward to this grid first (see module docstring).
+        outward to this grid first (see module docstring).  When omitted the
+        default scales down with dimensionality so the total decomposition
+        work stays within :data:`PRECISION_BIT_BUDGET`; an explicit value is
+        used as given.
+    curve:
+        Space-filling-curve kind (:data:`~repro.sfc.factory.CURVE_KINDS`)
+        keying the segments.  Curves differ in run counts — and therefore in
+        segment counts and false-positive rates — never in match answers.
     """
 
     def __init__(
@@ -129,16 +150,22 @@ class MatchIndex:
         schema: AttributeSchema,
         backend: str = "avl",
         run_budget: int = DEFAULT_RUN_BUDGET,
-        precision_bits: int = DEFAULT_PRECISION_BITS,
+        precision_bits: Optional[int] = None,
+        curve: str = DEFAULT_CURVE,
         seed: Optional[int] = None,
     ) -> None:
         if run_budget < 1:
             raise ValueError(f"run_budget must be at least 1, got {run_budget}")
-        if precision_bits < 1:
-            raise ValueError(f"precision_bits must be at least 1, got {precision_bits}")
         self.schema = schema
         self.universe = Universe(dims=schema.num_attributes, order=schema.order)
-        self.curve = ZOrderCurve(self.universe)
+        if precision_bits is None:
+            precision_bits = max(
+                1,
+                min(DEFAULT_PRECISION_BITS, PRECISION_BIT_BUDGET // self.universe.dims),
+            )
+        if precision_bits < 1:
+            raise ValueError(f"precision_bits must be at least 1, got {precision_bits}")
+        self.curve = make_curve(curve, self.universe)
         self.run_budget = run_budget
         self.precision_bits = precision_bits
         self._segments = make_backend(backend, seed=seed)
@@ -158,7 +185,7 @@ class MatchIndex:
         return len(self._segments)
 
     def event_key(self, cells: Sequence[int]) -> int:
-        """Z-order key of an event's quantised cell vector."""
+        """Curve key of an event's quantised cell vector."""
         return self.curve.key(cells)
 
     # ----------------------------------------------------------------- updates

@@ -31,6 +31,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 import networkx as nx
 
 from ..core.covering import CoveringProfiler
+from ..sfc.factory import DEFAULT_CURVE
 from ..sim.transport import SyncTransport, Transport
 from .broker import LOCAL_INTERFACE, Broker
 from .match_index import DEFAULT_RUN_BUDGET
@@ -102,6 +103,10 @@ class BrokerNetwork:
         :class:`~repro.sim.transport.SyncTransport` (immediate inline
         delivery).  Pass a :class:`~repro.sim.transport.SimTransport` for
         latency, queueing and churn.
+    curve:
+        Space-filling-curve kind every broker uses for SFC matching and
+        approximate covering (:data:`~repro.sfc.factory.CURVE_KINDS`).
+        Curves change run/segment statistics, never delivery semantics.
     promotion:
         Withdrawal-promotion engine every broker uses
         (:data:`~repro.pubsub.broker.PROMOTION_KINDS`).
@@ -120,6 +125,7 @@ class BrokerNetwork:
     cube_budget: int = DEFAULT_CUBE_BUDGET
     matching: str = "linear"
     run_budget: int = DEFAULT_RUN_BUDGET
+    curve: str = DEFAULT_CURVE
     promotion: str = "incremental"
     profile_sharing: bool = True
     transport: Optional[Transport] = None
@@ -144,6 +150,7 @@ class BrokerNetwork:
                 self.schema.order,
                 epsilon=self.epsilon,
                 cube_budget=self.cube_budget,
+                curve=self.curve,
             )
             if self.covering == "approximate" and self.profile_sharing
             else None
@@ -165,6 +172,7 @@ class BrokerNetwork:
             cube_budget=self.cube_budget,
             matching=self.matching,
             run_budget=self.run_budget,
+            curve=self.curve,
             promotion=self.promotion,
             profile_sharing=self.profile_sharing,
             profile_cache=self.profile_cache,
@@ -210,6 +218,7 @@ class BrokerNetwork:
         cube_budget: int = DEFAULT_CUBE_BUDGET,
         matching: str = "linear",
         run_budget: int = DEFAULT_RUN_BUDGET,
+        curve: str = DEFAULT_CURVE,
         promotion: str = "incremental",
         profile_sharing: bool = True,
         transport: Optional[Transport] = None,
@@ -225,6 +234,7 @@ class BrokerNetwork:
             cube_budget=cube_budget,
             matching=matching,
             run_budget=run_budget,
+            curve=curve,
             promotion=promotion,
             profile_sharing=profile_sharing,
             transport=transport,

@@ -36,7 +36,8 @@ from ..baselines.linear_scan import LinearScanCoveringDetector
 from ..baselines.probabilistic import ProbabilisticCoveringDetector
 from ..core.covering import ApproximateCoveringDetector
 from ..geometry.universe import Universe
-from ..sfc.zorder import ZOrderCurve
+from ..sfc.base import SpaceFillingCurve
+from ..sfc.factory import DEFAULT_CURVE, make_curve
 from .match_index import DEFAULT_RUN_BUDGET, MatchIndex
 from .schema import AttributeSchema
 from .subscription import Event, Subscription
@@ -150,7 +151,7 @@ class ExactCoveringStrategy:
 
 
 class ApproximateCoveringStrategy:
-    """The paper's ε-approximate covering detector backed by the Z-curve index."""
+    """The paper's ε-approximate covering detector backed by an SFC index."""
 
     def __init__(
         self,
@@ -159,6 +160,7 @@ class ApproximateCoveringStrategy:
         epsilon: float = 0.05,
         backend: str = "avl",
         cube_budget: int = DEFAULT_CUBE_BUDGET,
+        curve: str = DEFAULT_CURVE,
     ) -> None:
         self.name = f"approx(ε={epsilon})"
         self.epsilon = epsilon
@@ -168,6 +170,7 @@ class ApproximateCoveringStrategy:
             epsilon=epsilon,
             backend=backend,
             cube_budget=cube_budget,
+            curve=curve,
         )
         self._runs_probed = 0
 
@@ -237,12 +240,15 @@ def make_covering_strategy(
     samples: int = 8,
     seed: Optional[int] = None,
     cube_budget: int = DEFAULT_CUBE_BUDGET,
+    curve: str = DEFAULT_CURVE,
 ) -> CoveringStrategy:
     """Build a covering strategy by name: ``none``, ``exact``, ``approximate`` or ``probabilistic``.
 
     ``cube_budget`` bounds the per-check work of the approximate strategy; a
     router would enforce such a bound in practice so a single subscription
-    arrival cannot stall the forwarding path.
+    arrival cannot stall the forwarding path.  ``curve`` selects the
+    space-filling curve of the approximate strategy's index (the other
+    strategies do not use one).
     """
     attributes = schema.num_attributes
     order = schema.order
@@ -252,7 +258,12 @@ def make_covering_strategy(
         return ExactCoveringStrategy(attributes, order)
     if kind == "approximate":
         return ApproximateCoveringStrategy(
-            attributes, order, epsilon=epsilon, backend=backend, cube_budget=cube_budget
+            attributes,
+            order,
+            epsilon=epsilon,
+            backend=backend,
+            cube_budget=cube_budget,
+            curve=curve,
         )
     if kind == "probabilistic":
         return ProbabilisticCoveringStrategy(attributes, order, samples=samples, seed=seed)
@@ -280,6 +291,7 @@ class InterfaceTable:
         matching: str = "linear",
         backend: str = "avl",
         run_budget: int = DEFAULT_RUN_BUDGET,
+        curve: str = DEFAULT_CURVE,
         seed: Optional[int] = None,
     ) -> None:
         if matching not in MATCHING_KINDS:
@@ -292,7 +304,9 @@ class InterfaceTable:
         self.matching_kind = matching
         self._subscriptions: Dict[Hashable, Subscription] = {}
         self._index: Optional[MatchIndex] = (
-            MatchIndex(schema, backend=backend, run_budget=run_budget, seed=seed)
+            MatchIndex(
+                schema, backend=backend, run_budget=run_budget, curve=curve, seed=seed
+            )
             if matching == "sfc" and schema is not None
             else None
         )
@@ -349,7 +363,7 @@ class RoutingTable:
     """All interface tables of one broker.
 
     When built with ``matching="sfc"`` every interface table carries a
-    :class:`MatchIndex` and event routing computes each event's Z-order key
+    :class:`MatchIndex` and event routing computes each event's curve key
     once, sharing it across all interface probes (and, via
     :meth:`event_keys`, across the events of a batch).
     """
@@ -360,6 +374,7 @@ class RoutingTable:
         matching: str = "linear",
         backend: str = "avl",
         run_budget: int = DEFAULT_RUN_BUDGET,
+        curve: str = DEFAULT_CURVE,
         seed: Optional[int] = None,
     ) -> None:
         if matching not in MATCHING_KINDS:
@@ -372,10 +387,11 @@ class RoutingTable:
         self.matching_kind = matching
         self._backend_name = backend
         self._run_budget = run_budget
+        self._curve_kind = curve
         self._seed = seed
         self._tables: Dict[Hashable, InterfaceTable] = {}
-        self._curve: Optional[ZOrderCurve] = (
-            ZOrderCurve(Universe(dims=schema.num_attributes, order=schema.order))
+        self._curve: Optional[SpaceFillingCurve] = (
+            make_curve(curve, Universe(dims=schema.num_attributes, order=schema.order))
             if matching == "sfc" and schema is not None
             else None
         )
@@ -389,6 +405,7 @@ class RoutingTable:
                 matching=self.matching_kind,
                 backend=self._backend_name,
                 run_budget=self._run_budget,
+                curve=self._curve_kind,
                 seed=self._seed,
             )
         return self._tables[interface_id]
@@ -407,12 +424,13 @@ class RoutingTable:
         return self._curve.key(event.cells)
 
     def event_keys(self, events: Sequence[Event]) -> List[Optional[int]]:
-        """SFC keys for a batch of events, amortising the bit-interleaving work.
+        """SFC keys for a batch of events, amortising shared work where the curve can.
 
-        Delegates to :meth:`ZOrderCurve.keys`, which spreads each distinct
-        coordinate value at most once per dimension across the whole batch —
-        batches with recurring attribute values (hot topics, repeated prices)
-        pay far less than per-event key construction.
+        Delegates to :meth:`SpaceFillingCurve.keys`; the Z curve spreads each
+        distinct coordinate value at most once per dimension across the whole
+        batch — batches with recurring attribute values (hot topics, repeated
+        prices) pay far less than per-event key construction — while other
+        curves fall back to per-event keying.
         """
         if self._curve is None:
             return [None] * len(events)
@@ -446,6 +464,20 @@ class RoutingTable:
             for interface_id, table in candidates
             if interface_id != exclude and table.any_match(event, key=key)
         ]
+
+    def match_segments(self) -> int:
+        """Total disjoint key segments stored across all match indexes (0 under linear).
+
+        The structure-size counterpart of :meth:`match_work`: segment counts
+        are where the choice of curve shows up (fewer runs per rectangle →
+        fewer segments per interface), so the curve-ablation experiment
+        aggregates them per network.
+        """
+        return sum(
+            table.match_index.segment_count()
+            for table in self._tables.values()
+            if table.match_index is not None
+        )
 
     def match_work(self) -> Tuple[int, int, int]:
         """Aggregate ``(lookups, candidates_checked, false_positives)`` over all match indexes."""

@@ -59,7 +59,11 @@ class ProfileCache:
 
     Keying by ranges rather than subscription id makes the cache safely
     shareable across brokers and resilient to id reuse: two subscriptions
-    with identical rectangles share one plan.
+    with identical rectangles share one plan.  Entries are namespaced by the
+    profiler's :attr:`~repro.core.covering.CoveringProfiler.cache_key` —
+    which includes the curve kind, ε and cube budget — so the same rectangle
+    profiled under two different curves (or detector configs) never shares a
+    cached plan: a plan's probe key ranges are curve-specific.
     """
 
     def __init__(
@@ -71,9 +75,7 @@ class ProfileCache:
             raise ValueError(f"max_entries must be at least 1, got {max_entries}")
         self.profiler = profiler
         self.max_entries = max_entries
-        self._profiles: "OrderedDict[Tuple[Tuple[int, int], ...], CoveringProfile]" = (
-            OrderedDict()
-        )
+        self._profiles: "OrderedDict[Tuple, CoveringProfile]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -82,30 +84,43 @@ class ProfileCache:
         return len(self._profiles)
 
     def covering_profile(
-        self, ranges: Tuple[Tuple[int, int], ...]
+        self,
+        ranges: Tuple[Tuple[int, int], ...],
+        profiler: Optional[CoveringProfiler] = None,
     ) -> Optional[CoveringProfile]:
-        """Return the (cached) covering profile for ``ranges``, or ``None`` without a profiler."""
-        if self.profiler is None:
+        """Return the (cached) covering profile for ``ranges``, or ``None`` without a profiler.
+
+        ``profiler`` overrides the cache's default profiler for this lookup;
+        its cache key namespaces the entry, so callers with different curve /
+        ε / budget configurations can safely share one cache.
+        """
+        profiler = profiler if profiler is not None else self.profiler
+        if profiler is None:
             return None
-        cached = self._profiles.get(ranges)
+        key = (profiler.cache_key, ranges)
+        cached = self._profiles.get(key)
         if cached is not None:
             self.hits += 1
-            self._profiles.move_to_end(ranges)
+            self._profiles.move_to_end(key)
             return cached
         self.misses += 1
-        profile = self.profiler.profile(ranges)
-        self._profiles[ranges] = profile
+        profile = profiler.profile(ranges)
+        self._profiles[key] = profile
         if len(self._profiles) > self.max_entries:
             self._profiles.popitem(last=False)
             self.evictions += 1
         return profile
 
-    def profile(self, subscription: Subscription) -> SubscriptionProfile:
+    def profile(
+        self,
+        subscription: Subscription,
+        profiler: Optional[CoveringProfiler] = None,
+    ) -> SubscriptionProfile:
         """Build the full per-subscription profile (covering half memoised)."""
         return SubscriptionProfile(
             subscription=subscription,
             ranges=subscription.ranges,
-            covering=self.covering_profile(subscription.ranges),
+            covering=self.covering_profile(subscription.ranges, profiler=profiler),
         )
 
 

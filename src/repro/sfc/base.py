@@ -13,7 +13,7 @@ subclasses only provide the cell ⇄ key bijection.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from ..geometry.rect import Rectangle, StandardCube
 from ..geometry.universe import Universe
@@ -35,6 +35,12 @@ class SpaceFillingCurve(ABC):
     #: Human-readable curve name used in benchmark reports.
     name: str = "sfc"
 
+    #: Canonical configuration identity — the :data:`~repro.sfc.factory.CURVE_KINDS`
+    #: string the factory builds this class from.  Plans, profile-cache keys and
+    #: error messages use this (not :attr:`name`) so the identity an operator
+    #: sees always matches the ``curve=`` value they configured.
+    kind: str = "sfc"
+
     def __init__(self, universe: Universe) -> None:
         self.universe = universe
 
@@ -46,6 +52,16 @@ class SpaceFillingCurve(ABC):
     @abstractmethod
     def point(self, key: int) -> Tuple[int, ...]:
         """Return the cell with curve key ``key`` (inverse of :meth:`key`)."""
+
+    def keys(self, points: Sequence[Sequence[int]]) -> List[int]:
+        """Keys of a batch of cells; identical to ``[self.key(p) for p in points]``.
+
+        Subclasses may override to amortise shared work across the batch (the
+        Z curve reuses per-coordinate bit spreading); the default simply maps
+        :meth:`key`, so every curve supports the batch entry points of the
+        routing layer.
+        """
+        return [self.key(point) for point in points]
 
     # -------------------------------------------------------- standard cubes
     def cube_key_range(self, cube: StandardCube) -> KeyRange:

@@ -1,0 +1,58 @@
+"""Curve registry: build any supported space filling curve by name.
+
+The broker stack is curve-generic — everything it needs is the
+:class:`~repro.sfc.base.SpaceFillingCurve` interface — but configuration
+travels through dataclass fields and experiment axes as plain strings.  This
+module owns the string ⇄ class mapping so that every layer (match index,
+covering strategies, profiler, network, benchmarks) resolves a curve kind the
+same way; each curve class carries the registry key back as its ``kind``
+attribute, so plans, cache keys and error messages always speak the same
+vocabulary as the ``curve=`` configuration value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..geometry.universe import Universe
+from .base import SpaceFillingCurve
+from .gray import GrayCodeCurve
+from .hilbert import HilbertCurve
+from .zorder import ZOrderCurve
+
+__all__ = ["CURVE_KINDS", "DEFAULT_CURVE", "make_curve", "curve_class"]
+
+#: Canonical curve kinds accepted everywhere a ``curve=`` parameter appears.
+CURVE_KINDS = ("zorder", "hilbert", "gray")
+
+#: The curve the paper analyses and every layer defaults to.
+DEFAULT_CURVE = "zorder"
+
+_REGISTRY: Dict[str, Type[SpaceFillingCurve]] = {
+    "zorder": ZOrderCurve,
+    "hilbert": HilbertCurve,
+    "gray": GrayCodeCurve,
+}
+
+assert all(cls.kind == kind for kind, cls in _REGISTRY.items()), (
+    "curve registry keys must match the classes' kind attributes"
+)
+
+
+def curve_class(kind: str) -> Type[SpaceFillingCurve]:
+    """Return the curve class registered under ``kind`` (see :data:`CURVE_KINDS`)."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown curve kind {kind!r}; expected one of {CURVE_KINDS}"
+        ) from None
+
+
+def make_curve(kind: str, universe: Universe) -> SpaceFillingCurve:
+    """Build the curve named ``kind`` over ``universe``.
+
+    >>> make_curve("hilbert", Universe(dims=2, order=4)).name
+    'hilbert'
+    """
+    return curve_class(kind)(universe)

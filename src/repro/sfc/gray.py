@@ -34,6 +34,7 @@ class GrayCodeCurve(SpaceFillingCurve):
     """Gray-code curve over a :class:`Universe`."""
 
     name = "gray-code"
+    kind = "gray"
 
     def key(self, point: Sequence[int]) -> int:
         """Key of a cell: Gray rank of its bit-interleaved coordinates."""

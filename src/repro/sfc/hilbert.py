@@ -27,6 +27,7 @@ class HilbertCurve(SpaceFillingCurve):
     """Hilbert curve over a :class:`Universe` (Skilling's algorithm)."""
 
     name = "hilbert"
+    kind = "hilbert"
 
     # ------------------------------------------------------------- bijection
     def key(self, point: Sequence[int]) -> int:

@@ -29,6 +29,7 @@ class ZOrderCurve(SpaceFillingCurve):
     """Morton / Z-order curve over a :class:`Universe`."""
 
     name = "z-order"
+    kind = "zorder"
 
     # ------------------------------------------------------------- bijection
     def key(self, point: Sequence[int]) -> int:

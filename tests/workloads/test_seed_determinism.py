@@ -14,9 +14,11 @@ from __future__ import annotations
 import hashlib
 import json
 
+from repro.pubsub.network import BrokerNetwork, tree_topology
 from repro.workloads.dynamics import (
     flash_crowd_script,
     rolling_failures_script,
+    run_scripted_lockstep,
     subscription_churn_script,
 )
 from repro.workloads.generators import (
@@ -127,6 +129,37 @@ class TestScriptDigests:
         scenario = stock_market_scenario(num_subscriptions=25, num_events=15, seed=5)
         script = rolling_failures_script(scenario, BROKER_IDS, crash_ids=[2, 4], seed=3)
         assert digest([action_payload(a) for a in script]) == "b382b969bb47251b"
+
+    def test_hilbert_network_state_digest(self):
+        """Same-seed Hilbert-curve network runs must be byte-identical.
+
+        The curve-pluggable stack promises determinism under every curve, not
+        just the Z default: a churn-storm script run in lockstep on a Hilbert
+        network (SFC matching + approximate covering) pins its normalised
+        routing state to a recorded digest, so drift anywhere along the
+        Hilbert keying path fails loudly.
+        """
+
+        def hilbert_state():
+            scenario = stock_market_scenario(
+                num_subscriptions=25, num_events=10, order=7, seed=5
+            )
+            network = BrokerNetwork.from_topology(
+                scenario.schema,
+                tree_topology(7),
+                covering="approximate",
+                epsilon=0.2,
+                cube_budget=500,
+                matching="sfc",
+                curve="hilbert",
+            )
+            script = subscription_churn_script(scenario, BROKER_IDS, seed=3)
+            run_scripted_lockstep(network, script)
+            return network.routing_state()
+
+        first = hilbert_state()
+        assert first == hilbert_state()
+        assert digest(first) == "2560e8cf4abaa55a"
 
     def test_scripts_stable_across_calls(self):
         """Two same-seed builds serialize identically (no hidden global state)."""
