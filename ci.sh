@@ -23,12 +23,24 @@ echo "== benchmark smoke (tiny sizes) =="
 # bench_curve_ablation's smoke pass asserts the per-event delivery sets are
 # identical under every curve (the driver raises on any divergence) and that
 # Hilbert needs fewer key runs than Z on the Fig. 1-style rectangle family.
+# bench_match_scale's smoke pass still runs the full parity phase: every
+# match backend (flat/avl/skiplist/sortedlist/sharded) under every curve must
+# agree with a brute-force rectangle oracle before anything is timed.
 REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_pubsub_propagation.py \
     benchmarks/bench_event_matching.py \
     benchmarks/bench_subscription_churn.py \
     benchmarks/bench_curve_ablation.py \
-    benchmarks/bench_sim_latency.py
+    benchmarks/bench_sim_latency.py \
+    benchmarks/bench_match_scale.py
+
+echo "== numpy-free fallback tier-1 (REPRO_NO_NUMPY=1) =="
+# The vectorized keying and flat-store sweep paths must stay bit-identical to
+# their pure-python fallbacks; pin the fallbacks by running tier-1 once with
+# numpy deliberately unavailable (smoke hypothesis profile — the deep
+# property pass already ran above, this pass is about the fallback code
+# paths, not about finding new counterexamples).
+REPRO_NO_NUMPY=1 HYPOTHESIS_PROFILE=smoke python -m pytest -x -q tests
 
 echo "== example smoke (tiny sizes) =="
 REPRO_BENCH_SMOKE=1 python examples/broker_network_simulation.py > /dev/null

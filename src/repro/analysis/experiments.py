@@ -57,6 +57,7 @@ __all__ = [
     "run_sim_latency_experiment",
     "run_subscription_churn_experiment",
     "run_event_matching_experiment",
+    "run_match_scale_experiment",
     "run_curve_ablation_experiment",
     "run_dimensionality_experiment",
     "run_throughput_experiment",
@@ -1118,9 +1119,19 @@ def run_throughput_experiment(
     num_queries: int = 60,
     epsilon: float = 0.1,
     seed: int = 23,
+    backend: str = "flat",
 ) -> ResultTable:
-    """E-THROUGHPUT: queries/second vs table size for each covering index."""
-    table = ResultTable("E-THROUGHPUT: covering-check throughput vs stored subscriptions")
+    """E-THROUGHPUT: queries/second vs table size for each covering index.
+
+    ``backend`` selects the SFC-array ordered-map store behind the
+    approximate detector (``"flat"``, ``"avl"``, ``"skiplist"``,
+    ``"sortedlist"``) so backend choice can be ablated on the same workload;
+    answers are backend-independent, only the timings move.
+    """
+    table = ResultTable(
+        "E-THROUGHPUT: covering-check throughput vs stored subscriptions "
+        f"(sfc backend: {backend})"
+    )
     dims = 2 * attributes
     query_workload = SubscriptionWorkload(
         attributes=attributes, attribute_order=order, width_fraction=0.1, seed=seed + 5
@@ -1141,7 +1152,11 @@ def run_throughput_experiment(
         )
 
         approx = ApproximateCoveringDetector(
-            attributes=attributes, attribute_order=order, epsilon=epsilon, cube_budget=20_000
+            attributes=attributes,
+            attribute_order=order,
+            epsilon=epsilon,
+            cube_budget=20_000,
+            backend=backend,
         )
         linear = LinearScanCoveringDetector(attributes, order)
         kdtree = KDTree(dims=dims)
@@ -1266,5 +1281,197 @@ def run_sim_latency_experiment(
                 max_queue_depth=summary["max_queue_depth"],
                 backpressure_retries=summary["backpressure_retries"],
                 messages_sent=summary["messages_sent"],
+            )
+    return table
+
+
+# ------------------------------------------------------------- match index scale
+def _scale_subscriptions(
+    count: int, order: int, seed: int, max_width: int = 24
+) -> List[Tuple[str, Tuple[Tuple[int, int], ...]]]:
+    """Deterministic ``(sub_id, ranges)`` pairs for the scale phases.
+
+    Plain tuples rather than Subscription objects: at a million entries the
+    object overhead would dominate the build being measured.
+    """
+    import random
+
+    rng = random.Random(seed)
+    side = 1 << order
+    items: List[Tuple[str, Tuple[Tuple[int, int], ...]]] = []
+    for i in range(count):
+        ranges = []
+        for _ in range(2):
+            lo = rng.randrange(side)
+            ranges.append((lo, min(side - 1, lo + rng.randrange(max_width))))
+        items.append((f"s{i}", tuple(ranges)))
+    return items
+
+
+def run_match_scale_experiment(
+    populations: Sequence[int] = (100_000, 1_000_000),
+    baseline_population: int = 20_000,
+    num_events: int = 20_000,
+    num_delivery_events: int = 200,
+    order: int = 10,
+    precision_bits: int = 4,
+    shards: int = 4,
+    parity_subscriptions: int = 400,
+    parity_events: int = 300,
+    seed: int = 31,
+    min_speedup: float = 0.0,
+) -> ResultTable:
+    """E-MATCH-SCALE: million-subscription matching on the flattened backends.
+
+    Three phases, one row each:
+
+    * **parity** — every backend (including ``"sharded"``) under every curve
+      must produce delivery sets identical to a brute-force rectangle scan;
+      any disagreement raises instead of producing a row.
+    * **baseline** — per-subscription insert throughput of the ordered-map
+      default of the previous generation (``"avl"``), measured at a size it
+      can sustain.
+    * **scale** — for each population: bulk ``add_batch`` build throughput and
+      publish throughput (``any_match_batch`` over ``num_events`` events plus
+      ``matching_ids_batch`` over ``num_delivery_events``) for the ``"flat"``
+      and ``"sharded"`` backends, with segment counts, flattened member
+      entries and peak RSS.  ``min_speedup`` (when > 0) asserts the flat bulk
+      build rate is at least that multiple of the baseline insert rate.
+    """
+    import random
+    import resource
+
+    from ..pubsub.match_index import MatchIndex
+    from ..pubsub.sharded_index import ShardedMatchIndex
+    from ..sfc.factory import CURVE_KINDS
+
+    table = ResultTable("E-MATCH-SCALE: million-subscription matching, flat + sharded backends")
+    schema = _default_schema(order)
+    side = 1 << order
+
+    # ---------------------------------------------------------------- parity
+    parity_items = _scale_subscriptions(parity_subscriptions, order, seed + 1)
+    rng = random.Random(seed + 2)
+    parity_cells = [
+        (rng.randrange(side), rng.randrange(side)) for _ in range(parity_events)
+    ]
+    oracle = [
+        sorted(
+            sid
+            for sid, rect in parity_items
+            if all(lo <= c <= hi for (lo, hi), c in zip(rect, cells))
+        )
+        for cells in parity_cells
+    ]
+    backends = ("flat", "avl", "skiplist", "sortedlist", "sharded")
+    combos = 0
+    for curve in CURVE_KINDS:
+        for backend in backends:
+            if backend == "sharded":
+                index = ShardedMatchIndex(
+                    schema, shards=shards, curve=curve, precision_bits=precision_bits
+                )
+            else:
+                index = MatchIndex(
+                    schema, backend=backend, curve=curve, precision_bits=precision_bits
+                )
+            index.add_batch(parity_items)
+            got = [sorted(ids) for ids in index.matching_ids_batch(parity_cells)]
+            if got != oracle:
+                bad = next(i for i in range(len(oracle)) if got[i] != oracle[i])
+                raise AssertionError(
+                    f"backend {backend!r} under curve {curve!r} disagrees with the "
+                    f"rectangle oracle on event {parity_cells[bad]}"
+                )
+            combos += 1
+    table.add(
+        phase="parity",
+        backend="all",
+        curve="all",
+        subscriptions=parity_subscriptions,
+        events=parity_events,
+        combos_verified=combos,
+    )
+
+    # -------------------------------------------------------------- baseline
+    baseline_items = _scale_subscriptions(baseline_population, order, seed)
+    baseline = MatchIndex(schema, backend="avl", precision_bits=precision_bits)
+    start = time.perf_counter()
+    for sub_id, ranges in baseline_items:
+        baseline.add(sub_id, ranges)
+    baseline_seconds = time.perf_counter() - start
+    baseline_rate = baseline_population / baseline_seconds
+    table.add(
+        phase="baseline",
+        backend="avl",
+        curve="zorder",
+        subscriptions=baseline_population,
+        build_seconds=round(baseline_seconds, 3),
+        inserts_per_second=round(baseline_rate, 1),
+        segments=baseline.segment_count(),
+    )
+
+    # ----------------------------------------------------------------- scale
+    for population in populations:
+        items = _scale_subscriptions(population, order, seed)
+        event_rng = random.Random(seed + 3)
+        events = [
+            (event_rng.randrange(side), event_rng.randrange(side))
+            for _ in range(num_events)
+        ]
+        for backend in ("flat", "sharded"):
+            if backend == "flat":
+                index = MatchIndex(schema, backend="flat", precision_bits=precision_bits)
+            else:
+                index = ShardedMatchIndex(
+                    schema, shards=shards, precision_bits=precision_bits
+                )
+            start = time.perf_counter()
+            index.add_batch(items)
+            build_seconds = time.perf_counter() - start
+            build_rate = population / build_seconds
+
+            start = time.perf_counter()
+            any_results = index.any_match_batch(events)
+            any_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            deliveries = index.matching_ids_batch(events[:num_delivery_events])
+            delivery_seconds = time.perf_counter() - start
+
+            if backend == "flat":
+                member_entries = index._flat.member_entries
+                rebuilds = index._flat.rebuilds
+                if min_speedup and build_rate < min_speedup * baseline_rate:
+                    raise AssertionError(
+                        f"flat bulk build at {population} subscriptions reached only "
+                        f"{build_rate:.0f}/s vs baseline {baseline_rate:.0f}/s "
+                        f"({build_rate / baseline_rate:.1f}x < {min_speedup}x)"
+                    )
+            else:
+                member_entries = sum(
+                    shard._flat.member_entries for shard in index._indexes
+                )
+                rebuilds = sum(shard._flat.rebuilds for shard in index._indexes)
+            table.add(
+                phase="scale",
+                backend=backend,
+                curve="zorder",
+                subscriptions=population,
+                build_seconds=round(build_seconds, 3),
+                inserts_per_second=round(build_rate, 1),
+                speedup_vs_baseline=round(build_rate / baseline_rate, 2),
+                any_match_events_per_second=round(num_events / any_seconds, 1),
+                matching_hit_rate=round(sum(any_results) / num_events, 4),
+                delivery_events_per_second=round(
+                    num_delivery_events / delivery_seconds, 1
+                ),
+                delivered_matches=sum(len(ids) for ids in deliveries),
+                segments=index.segment_count(),
+                member_entries=member_entries,
+                rebuilds=rebuilds,
+                peak_rss_mb=round(
+                    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+                ),
             )
     return table

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..geometry.transform import DominanceTransform, Range
+from ..index.backends import DEFAULT_BACKEND
 from ..sfc.factory import DEFAULT_CURVE, make_curve
 from .approx_dominance import (
     ApproximateDominanceIndex,
@@ -148,7 +149,8 @@ class ApproximateCoveringDetector:
     epsilon:
         Default approximation parameter (0 = exhaustive search).
     backend:
-        SFC-array backend name (``"avl"``, ``"skiplist"``, ``"sortedlist"``).
+        SFC-array backend name (``"flat"``, ``"avl"``, ``"skiplist"``,
+        ``"sortedlist"``).  Defaults to the flattened sorted-array store.
     cube_budget:
         Per-query cap on examined standard cubes (passed to the dominance index).
     curve:
@@ -160,7 +162,7 @@ class ApproximateCoveringDetector:
     attributes: int
     attribute_order: int
     epsilon: float = 0.05
-    backend: str = "avl"
+    backend: str = DEFAULT_BACKEND
     cube_budget: int = 1_000_000
     curve: str = DEFAULT_CURVE
     seed: Optional[int] = None

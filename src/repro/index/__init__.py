@@ -3,33 +3,40 @@
 from .avl import AVLTree
 from .backends import (
     BACKEND_NAMES,
+    DEFAULT_BACKEND,
     AVLBackend,
+    FlatBackend,
     OrderedMapBackend,
     SkipListBackend,
     SortedListBackend,
     make_backend,
+    ordered_map_backend_name,
 )
 from .kdtree import KDTree, KDTreeStats
 from .range_tree import RangeTree, RangeTreeStats
 from .rtree import RTree, RTreeStats
-from .sfc_array import SFCArray, SFCArrayStats, StoredItem
+from .sfc_array import FlatSegmentStore, SFCArray, SFCArrayStats, StoredItem
 from .skiplist import SkipList
 
 __all__ = [
     "AVLTree",
     "SkipList",
     "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
     "AVLBackend",
+    "FlatBackend",
     "OrderedMapBackend",
     "SkipListBackend",
     "SortedListBackend",
     "make_backend",
+    "ordered_map_backend_name",
     "KDTree",
     "KDTreeStats",
     "RangeTree",
     "RangeTreeStats",
     "RTree",
     "RTreeStats",
+    "FlatSegmentStore",
     "SFCArray",
     "SFCArrayStats",
     "StoredItem",

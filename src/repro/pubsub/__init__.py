@@ -9,7 +9,14 @@ from .network import (
     star_topology,
     tree_topology,
 )
-from .match_index import DEFAULT_RUN_BUDGET, MatchIndex, MatchIndexStats
+from .match_index import (
+    DEFAULT_MATCH_BACKEND,
+    DEFAULT_RUN_BUDGET,
+    MATCH_BACKEND_NAMES,
+    MatchIndex,
+    MatchIndexStats,
+)
+from .sharded_index import DEFAULT_SHARDS, ShardedMatchIndex
 from .routing_table import (
     DEFAULT_CUBE_BUDGET,
     MATCHING_KINDS,
@@ -44,6 +51,10 @@ __all__ = [
     "MATCHING_KINDS",
     "MatchIndex",
     "MatchIndexStats",
+    "MATCH_BACKEND_NAMES",
+    "DEFAULT_MATCH_BACKEND",
+    "DEFAULT_SHARDS",
+    "ShardedMatchIndex",
     "ApproximateCoveringStrategy",
     "CoveringStrategy",
     "ExactCoveringStrategy",

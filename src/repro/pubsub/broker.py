@@ -30,7 +30,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tupl
 
 from ..core.covering import CoveringProfiler
 from ..sfc.factory import CURVE_KINDS, DEFAULT_CURVE
-from .match_index import DEFAULT_RUN_BUDGET
+from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET
+from .sharded_index import DEFAULT_SHARDS
 from .routing_table import (
     DEFAULT_CUBE_BUDGET,
     CoveringStrategy,
@@ -80,7 +81,12 @@ class Broker:
     epsilon:
         Approximation parameter for the ``"approximate"`` strategy.
     backend:
-        Ordered-map backend for the approximate strategy and the match index.
+        Match-index backend (``"flat"`` — the default flattened segment
+        store — ``"avl"``, ``"skiplist"``, ``"sortedlist"`` or ``"sharded"``).
+        The approximate covering strategy uses the corresponding ordered-map
+        backend (``"sharded"`` maps to the flat store its shards are built on).
+    shards:
+        Shard count of the ``"sharded"`` match backend (ignored otherwise).
     matching:
         Event-matching implementation per interface table: ``"linear"`` scans
         stored subscriptions, ``"sfc"`` routes events through the SFC match
@@ -110,7 +116,8 @@ class Broker:
     schema: AttributeSchema
     covering: str = "approximate"
     epsilon: float = 0.05
-    backend: str = "avl"
+    backend: str = DEFAULT_MATCH_BACKEND
+    shards: int = DEFAULT_SHARDS
     samples: int = 8
     seed: Optional[int] = None
     cube_budget: int = DEFAULT_CUBE_BUDGET
@@ -179,6 +186,7 @@ class Broker:
             run_budget=self.run_budget,
             curve=self.curve,
             seed=self.seed,
+            shards=self.shards,
         )
 
     def _fresh_link_state(self, neighbor_id: Hashable) -> None:

@@ -53,9 +53,10 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tup
 
 from ..core.decomposition import decompose_rectangle
 from ..geometry.bits import spread_bits
-from ..geometry.rect import Rectangle
+from ..geometry.rect import Rectangle, StandardCube
 from ..geometry.universe import Universe
 from ..index.backends import make_backend
+from ..index.sfc_array import FlatSegmentStore
 from ..sfc.base import KeyRange
 from ..sfc.factory import DEFAULT_CURVE, make_curve
 from ..sfc.runs import merge_key_ranges
@@ -64,11 +65,21 @@ from .schema import AttributeSchema
 __all__ = [
     "MatchIndex",
     "MatchIndexStats",
+    "MATCH_BACKEND_NAMES",
+    "DEFAULT_MATCH_BACKEND",
     "DEFAULT_RUN_BUDGET",
     "DEFAULT_PRECISION_BITS",
     "PRECISION_BIT_BUDGET",
     "spread_bits",
 ]
+
+#: Segment-store backends a :class:`MatchIndex` accepts.  ``"flat"`` (the
+#: default) is the flattened parallel-array store; the ordered-map names keep
+#: the per-segment node path selectable for the backend ablation.
+MATCH_BACKEND_NAMES = ("flat", "avl", "skiplist", "sortedlist")
+
+#: Default match-index backend: the flattened segment store.
+DEFAULT_MATCH_BACKEND = "flat"
 
 #: Default cap on stored key ranges per subscription.  Thin rectangles whose
 #: exact decomposition has more runs are over-approximated down to this many;
@@ -129,7 +140,12 @@ class MatchIndex:
         Attribute schema shared with the routing layer; fixes the grid
         (``d = num_attributes`` dimensions, ``2^order`` cells per side).
     backend:
-        Ordered-map backend name (``"avl"``, ``"skiplist"``, ``"sortedlist"``).
+        Segment-store backend (:data:`MATCH_BACKEND_NAMES`).  ``"flat"`` (the
+        default) keeps the disjoint segments in parallel sorted arrays probed
+        by ``bisect``, with bulk-load construction, a pending-run buffer and
+        amortised merge-rebuilds (:class:`~repro.index.sfc_array.FlatSegmentStore`);
+        the ordered-map names (``"avl"``, ``"skiplist"``, ``"sortedlist"``)
+        store one node per segment and remain selectable for the ablation.
     run_budget:
         Per-subscription cap on stored key ranges (see module docstring).
     precision_bits:
@@ -148,7 +164,7 @@ class MatchIndex:
     def __init__(
         self,
         schema: AttributeSchema,
-        backend: str = "avl",
+        backend: str = DEFAULT_MATCH_BACKEND,
         run_budget: int = DEFAULT_RUN_BUDGET,
         precision_bits: Optional[int] = None,
         curve: str = DEFAULT_CURVE,
@@ -168,7 +184,31 @@ class MatchIndex:
         self.curve = make_curve(curve, self.universe)
         self.run_budget = run_budget
         self.precision_bits = precision_bits
-        self._segments = make_backend(backend, seed=seed)
+        # Precision-snapped rectangles are unions of cells of a coarser grid;
+        # decomposing on that coarse universe directly (and scaling the cubes
+        # back up) skips the top ``order - precision`` recursion levels the
+        # full-universe quadtree would walk for every subscription.
+        effective = min(precision_bits, self.universe.order)
+        self._snap = 1 << (self.universe.order - effective)
+        self._coarse_universe = (
+            Universe(dims=self.universe.dims, order=effective)
+            if self._snap > 1
+            else self.universe
+        )
+        self.backend_name = backend
+        if backend == "flat":
+            self._flat: Optional[FlatSegmentStore] = FlatSegmentStore()
+            self._segments = None
+            # Subscription-id interning: the flat store works on integer
+            # slots so its member arrays are machine-word arrays rather than
+            # object tuples.  Slots are never reused.
+            self._slot_of: Dict[Hashable, int] = {}
+            self._id_of: Dict[int, Hashable] = {}
+            self._rect_of_slot: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+            self._next_slot = 0
+        else:
+            self._flat = None
+            self._segments = make_backend(backend, seed=seed)
         self._ranges: Dict[Hashable, Tuple[KeyRange, ...]] = {}
         self._rects: Dict[Hashable, Tuple[Tuple[int, int], ...]] = {}
         self.stats = MatchIndexStats()
@@ -182,6 +222,8 @@ class MatchIndex:
 
     def segment_count(self) -> int:
         """Number of disjoint key segments currently stored (structure size)."""
+        if self._flat is not None:
+            return self._flat.segment_count()
         return len(self._segments)
 
     def event_key(self, cells: Sequence[int]) -> int:
@@ -189,48 +231,219 @@ class MatchIndex:
         return self.curve.key(cells)
 
     # ----------------------------------------------------------------- updates
+    def _validate_ranges(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> Tuple[Tuple[int, int], ...]:
+        if len(ranges) != self.universe.dims:
+            raise ValueError(
+                f"subscription has {len(ranges)} ranges but the schema "
+                f"has {self.universe.dims} attributes"
+            )
+        max_cell = self.universe.max_coordinate
+        out = []
+        for lo, hi in ranges:
+            lo = int(lo)
+            hi = int(hi)
+            if lo > hi or lo < 0 or hi > max_cell:
+                raise ValueError(
+                    f"invalid subscription range [{lo}, {hi}]; expected "
+                    f"0 <= lo <= hi <= {max_cell}"
+                )
+            out.append((lo, hi))
+        return tuple(out)
+
+    def _snap_signature(
+        self, rect_ranges: Tuple[Tuple[int, int], ...]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """The rectangle on the precision grid (outward snap, coarse coordinates).
+
+        Snapping outward bounds the quadtree work regardless of the schema
+        order and only ever *adds* cells (over-approximation, rejected later
+        by the rectangle check).  Rectangles sharing a signature share their
+        decomposition, which is what lets :meth:`add_batch` decompose each
+        distinct shape once.
+        """
+        snap = self._snap
+        if snap == 1:
+            return rect_ranges
+        return tuple([(lo // snap, hi // snap) for lo, hi in rect_ranges])
+
+    def _decompose_signature(
+        self, signature: Tuple[Tuple[int, int], ...]
+    ) -> List[StandardCube]:
+        """Standard-cube partition (in the full universe) of a snapped rectangle."""
+        coarse_rect = Rectangle(
+            tuple(lo for lo, _ in signature), tuple(hi for _, hi in signature)
+        )
+        cubes = decompose_rectangle(self._coarse_universe, coarse_rect)
+        snap = self._snap
+        if snap == 1:
+            return cubes
+        # A level-l cube of the coarse universe scales to the level-l cube of
+        # the full universe covering the same region; any exact standard-cube
+        # partition yields the same merged runs, so correctness is unaffected.
+        return [
+            StandardCube(
+                self.universe,
+                tuple(x * snap for x in cube.low),
+                cube.side * snap,
+            )
+            for cube in cubes
+        ]
+
+    def _runs_for(self, rect_ranges: Tuple[Tuple[int, int], ...]) -> List[KeyRange]:
+        cubes = self._decompose_signature(self._snap_signature(rect_ranges))
+        runs = merge_key_ranges(self.curve.cube_key_ranges(cubes))
+        return self._coarsen(runs)
+
+    def _store(
+        self, sub_id: Hashable, rect_ranges: Tuple[Tuple[int, int], ...], runs: List[KeyRange]
+    ) -> Optional[int]:
+        """Record a subscription; returns its slot under the flat backend."""
+        self._rects[sub_id] = rect_ranges
+        slot: Optional[int] = None
+        if self._flat is not None:
+            slot = self._next_slot
+            self._next_slot = slot + 1
+            self._slot_of[sub_id] = slot
+            self._id_of[slot] = sub_id
+            self._rect_of_slot[slot] = rect_ranges
+        else:
+            self._ranges[sub_id] = tuple(runs)
+            for lo, hi in runs:
+                self._insert_range(lo, hi, sub_id)
+        self.stats.inserts += 1
+        self.stats.runs_stored += len(runs)
+        return slot
+
     def add(self, sub_id: Hashable, ranges: Sequence[Tuple[int, int]]) -> None:
         """Index a subscription's quantised per-attribute ranges (replacing any previous).
 
         Validation happens before any mutation, so a rejected replace leaves
         the previously stored entry intact.
         """
-        rect_ranges = tuple((int(lo), int(hi)) for lo, hi in ranges)
-        if len(rect_ranges) != self.universe.dims:
-            raise ValueError(
-                f"subscription has {len(rect_ranges)} ranges but the schema "
-                f"has {self.universe.dims} attributes"
-            )
-        max_cell = self.universe.max_coordinate
-        for lo, hi in rect_ranges:
-            if lo > hi or lo < 0 or hi > max_cell:
-                raise ValueError(
-                    f"invalid subscription range [{lo}, {hi}]; expected "
-                    f"0 <= lo <= hi <= {max_cell}"
-                )
+        rect_ranges = self._validate_ranges(ranges)
         if sub_id in self._rects:
             self.remove(sub_id)
-        # Snap the rectangle outward to the precision grid: the quadtree
-        # recursion then never descends below cubes of this side, bounding the
-        # decomposition work regardless of the schema order.  The extra cells
-        # are over-approximation, rejected later by the rectangle check.
-        snap = 1 << max(0, self.universe.order - self.precision_bits)
-        rect = Rectangle(
-            tuple((lo // snap) * snap for lo, _ in rect_ranges),
-            tuple(((hi // snap) + 1) * snap - 1 for _, hi in rect_ranges),
-        )
-        cubes = decompose_rectangle(self.universe, rect)
-        runs = merge_key_ranges(self.curve.cube_key_range(cube) for cube in cubes)
-        runs = self._coarsen(runs)
-        self._rects[sub_id] = rect_ranges
-        self._ranges[sub_id] = tuple(runs)
-        for lo, hi in runs:
-            self._insert_range(lo, hi, sub_id)
-        self.stats.inserts += 1
-        self.stats.runs_stored += len(runs)
+        runs = self._runs_for(rect_ranges)
+        slot = self._store(sub_id, rect_ranges, runs)
+        if slot is not None:
+            self._flat.add(slot, runs)
+
+    #: Distinct snapped rectangles decomposed per chunk of :meth:`add_batch`,
+    #: bounding the number of standard cubes held in memory at once while
+    #: still amortising the batched anchor keying.
+    BATCH_CHUNK = 4096
+
+    def add_batch(
+        self, items: Sequence[Tuple[Hashable, Sequence[Tuple[int, int]]]]
+    ) -> None:
+        """Index many subscriptions in one pass (bulk subscribe).
+
+        Semantics are identical to calling :meth:`add` per item in order
+        (later duplicates replace earlier ones); the batch wins three times
+        on cost: subscriptions sharing a snapped rectangle are decomposed
+        once, each chunk keys all its decomposition cubes through one
+        :meth:`SpaceFillingCurve.cube_key_ranges` call, and under the flat
+        backend the whole batch is flattened by a single merge-rebuild
+        instead of per-subscription segment splicing.
+        """
+        # One fused validate + dedup pass (the body mirrors _validate_ranges;
+        # a million-subscription batch cannot afford a function call per item).
+        dims = self.universe.dims
+        max_cell = self.universe.max_coordinate
+        deduped: Dict[Hashable, Tuple[Tuple[int, int], ...]] = {}
+        for sub_id, ranges in items:
+            if len(ranges) != dims:
+                raise ValueError(
+                    f"subscription has {len(ranges)} ranges but the schema "
+                    f"has {dims} attributes"
+                )
+            out = []
+            for lo, hi in ranges:
+                lo = int(lo)
+                hi = int(hi)
+                if lo > hi or lo < 0 or hi > max_cell:
+                    raise ValueError(
+                        f"invalid subscription range [{lo}, {hi}]; expected "
+                        f"0 <= lo <= hi <= {max_cell}"
+                    )
+                out.append((lo, hi))
+            deduped[sub_id] = tuple(out)
+        for sub_id in deduped:
+            if sub_id in self._rects:
+                self.remove(sub_id)
+        # Group subscriptions by snapped rectangle: each distinct signature is
+        # decomposed once for the whole batch.
+        groups: Dict[Tuple[Tuple[int, int], ...], List] = {}
+        snap = self._snap
+        for sub_id, rect_ranges in deduped.items():
+            if snap == 1:
+                signature = rect_ranges
+            else:
+                signature = tuple([(lo // snap, hi // snap) for lo, hi in rect_ranges])
+            members = groups.get(signature)
+            if members is None:
+                groups[signature] = members = []
+            members.append((sub_id, rect_ranges))
+        signatures = list(groups)
+        flat = self._flat
+        rects = self._rects
+        if flat is not None:
+            slot_of = self._slot_of
+            id_of = self._id_of
+            rect_of_slot = self._rect_of_slot
+            next_slot = self._next_slot
+        runs_stored = 0
+        bulk: List[Tuple[int, List[KeyRange]]] = []
+        for start in range(0, len(signatures), self.BATCH_CHUNK):
+            chunk = signatures[start : start + self.BATCH_CHUNK]
+            all_cubes: List[StandardCube] = []
+            cube_counts: List[int] = []
+            for signature in chunk:
+                cubes = self._decompose_signature(signature)
+                all_cubes.extend(cubes)
+                cube_counts.append(len(cubes))
+            key_ranges = self.curve.cube_key_ranges(all_cubes)
+            pos = 0
+            for signature, count in zip(chunk, cube_counts):
+                runs = self._coarsen(merge_key_ranges(key_ranges[pos : pos + count]))
+                pos += count
+                num_runs = len(runs)
+                if flat is not None:
+                    # Inlined flat-path _store: the per-call overhead would
+                    # dominate a bulk load.
+                    for sub_id, rect_ranges in groups[signature]:
+                        rects[sub_id] = rect_ranges
+                        slot_of[sub_id] = next_slot
+                        id_of[next_slot] = sub_id
+                        rect_of_slot[next_slot] = rect_ranges
+                        bulk.append((next_slot, runs))
+                        next_slot += 1
+                        runs_stored += num_runs
+                else:
+                    for sub_id, rect_ranges in groups[signature]:
+                        self._store(sub_id, rect_ranges, runs)
+        if flat is not None:
+            self.stats.inserts += next_slot - self._next_slot
+            self.stats.runs_stored += runs_stored
+            self._next_slot = next_slot
+            if bulk:
+                flat.add_bulk(bulk)
 
     def remove(self, sub_id: Hashable) -> bool:
         """Drop a subscription from the index; return True when it was present."""
+        if self._flat is not None:
+            slot = self._slot_of.pop(sub_id, None)
+            if slot is None:
+                return False
+            del self._rects[sub_id]
+            del self._id_of[slot]
+            del self._rect_of_slot[slot]
+            removed_runs = self._flat.remove(slot)
+            self.stats.removals += 1
+            self.stats.runs_stored -= removed_runs
+            return True
         runs = self._ranges.pop(sub_id, None)
         if runs is None:
             return False
@@ -339,24 +552,30 @@ class MatchIndex:
     # ----------------------------------------------------------------- queries
     _EMPTY: FrozenSet[Hashable] = frozenset()
 
-    def _stab(self, key: int) -> Set[Hashable]:
-        """Live candidate set of the segment containing ``key`` (no copy).
+    def _stab(self, key: int):
+        """Candidates of the segment containing ``key``.
 
-        One ``first_in_range`` probe: segments are disjoint, so the segment
-        with the smallest upper endpoint ``>= key`` is the only one that can
-        contain ``key``.  Callers must not mutate the returned set.
+        Flat backend: one ``bisect`` in the parallel arrays, yielding interned
+        slots.  Ordered-map backends: one ``first_in_range`` probe — segments
+        are disjoint, so the segment with the smallest upper endpoint
+        ``>= key`` is the only one that can contain ``key``; yields
+        subscription ids.  Callers must not mutate the returned collection.
         """
         self.stats.lookups += 1
+        if self._flat is not None:
+            return self._flat.stab(key)
         hit = self._segments.first_in_range(key, self.universe.max_key)
         if hit is None:
-            return self._EMPTY  # type: ignore[return-value]
+            return self._EMPTY
         _, segment = hit
         if segment.lo > key:
-            return self._EMPTY  # type: ignore[return-value]
+            return self._EMPTY
         return segment.subs
 
     def candidates(self, key: int) -> FrozenSet[Hashable]:
         """Subscriptions whose stored (possibly coarsened) runs contain ``key``."""
+        if self._flat is not None:
+            return frozenset(self._id_of[slot] for slot in self._stab(key))
         return frozenset(self._stab(key))
 
     def _rect_contains(self, sub_id: Hashable, cells: Sequence[int]) -> bool:
@@ -368,11 +587,25 @@ class MatchIndex:
         """True when at least one indexed subscription matches the event cells."""
         if key is None:
             key = self.curve.key(cells)
+        stats = self.stats
+        if self._flat is not None:
+            rect_of_slot = self._rect_of_slot
+            for slot in self._flat.stab(key):
+                stats.candidates_checked += 1
+                if all(
+                    lo <= cell <= hi
+                    for (lo, hi), cell in zip(rect_of_slot[slot], cells)
+                ):
+                    stats.lookups += 1
+                    return True
+                stats.false_positives += 1
+            stats.lookups += 1
+            return False
         for sub_id in self._stab(key):
-            self.stats.candidates_checked += 1
+            stats.candidates_checked += 1
             if self._rect_contains(sub_id, cells):
                 return True
-            self.stats.false_positives += 1
+            stats.false_positives += 1
         return False
 
     def matching_ids(self, cells: Sequence[int], key: Optional[int] = None) -> List[Hashable]:
@@ -380,13 +613,53 @@ class MatchIndex:
         if key is None:
             key = self.curve.key(cells)
         matched: List[Hashable] = []
+        stats = self.stats
+        if self._flat is not None:
+            rect_of_slot = self._rect_of_slot
+            id_of = self._id_of
+            for slot in self._flat.stab(key):
+                stats.candidates_checked += 1
+                if all(
+                    lo <= cell <= hi
+                    for (lo, hi), cell in zip(rect_of_slot[slot], cells)
+                ):
+                    matched.append(id_of[slot])
+                else:
+                    stats.false_positives += 1
+            stats.lookups += 1
+            return matched
         for sub_id in self._stab(key):
-            self.stats.candidates_checked += 1
+            stats.candidates_checked += 1
             if self._rect_contains(sub_id, cells):
                 matched.append(sub_id)
             else:
-                self.stats.false_positives += 1
+                stats.false_positives += 1
         return matched
+
+    # ------------------------------------------------------------ batch queries
+    def any_match_batch(
+        self,
+        cells_batch: Sequence[Sequence[int]],
+        keys: Optional[Sequence[int]] = None,
+    ) -> List[bool]:
+        """Per-event :meth:`any_match` for a batch, keyed in one vectorized pass."""
+        if keys is None:
+            keys = self.curve.keys(cells_batch)
+        return [
+            self.any_match(cells, key) for cells, key in zip(cells_batch, keys)
+        ]
+
+    def matching_ids_batch(
+        self,
+        cells_batch: Sequence[Sequence[int]],
+        keys: Optional[Sequence[int]] = None,
+    ) -> List[List[Hashable]]:
+        """Per-event :meth:`matching_ids` for a batch, keyed in one vectorized pass."""
+        if keys is None:
+            keys = self.curve.keys(cells_batch)
+        return [
+            self.matching_ids(cells, key) for cells, key in zip(cells_batch, keys)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

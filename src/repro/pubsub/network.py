@@ -34,7 +34,8 @@ from ..core.covering import CoveringProfiler
 from ..sfc.factory import DEFAULT_CURVE
 from ..sim.transport import SyncTransport, Transport
 from .broker import LOCAL_INTERFACE, Broker
-from .match_index import DEFAULT_RUN_BUDGET
+from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET
+from .sharded_index import DEFAULT_SHARDS
 from .routing_table import DEFAULT_CUBE_BUDGET
 from .schema import AttributeSchema
 from .stats import NetworkStats
@@ -119,7 +120,8 @@ class BrokerNetwork:
     schema: AttributeSchema
     covering: str = "approximate"
     epsilon: float = 0.05
-    backend: str = "avl"
+    backend: str = DEFAULT_MATCH_BACKEND
+    shards: int = DEFAULT_SHARDS
     samples: int = 8
     seed: Optional[int] = None
     cube_budget: int = DEFAULT_CUBE_BUDGET
@@ -167,6 +169,7 @@ class BrokerNetwork:
             covering=self.covering,
             epsilon=self.epsilon,
             backend=self.backend,
+            shards=self.shards,
             samples=self.samples,
             seed=self.seed,
             cube_budget=self.cube_budget,
@@ -212,7 +215,8 @@ class BrokerNetwork:
         edges: Iterable[Tuple[Hashable, Hashable]],
         covering: str = "approximate",
         epsilon: float = 0.05,
-        backend: str = "avl",
+        backend: str = DEFAULT_MATCH_BACKEND,
+        shards: int = DEFAULT_SHARDS,
         samples: int = 8,
         seed: Optional[int] = None,
         cube_budget: int = DEFAULT_CUBE_BUDGET,
@@ -229,6 +233,7 @@ class BrokerNetwork:
             covering=covering,
             epsilon=epsilon,
             backend=backend,
+            shards=shards,
             samples=samples,
             seed=seed,
             cube_budget=cube_budget,

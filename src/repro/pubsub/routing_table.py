@@ -36,10 +36,12 @@ from ..baselines.linear_scan import LinearScanCoveringDetector
 from ..baselines.probabilistic import ProbabilisticCoveringDetector
 from ..core.covering import ApproximateCoveringDetector
 from ..geometry.universe import Universe
+from ..index.backends import DEFAULT_BACKEND, ordered_map_backend_name
 from ..sfc.base import SpaceFillingCurve
 from ..sfc.factory import DEFAULT_CURVE, make_curve
-from .match_index import DEFAULT_RUN_BUDGET, MatchIndex
+from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET, MatchIndex
 from .schema import AttributeSchema
+from .sharded_index import DEFAULT_SHARDS, ShardedMatchIndex
 from .subscription import Event, Subscription
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "RoutingTable",
     "DEFAULT_CUBE_BUDGET",
     "MATCHING_KINDS",
+    "ROUTING_BACKEND_NAMES",
 ]
 
 #: The single source of truth for the per-check work bound of the approximate
@@ -63,6 +66,11 @@ DEFAULT_CUBE_BUDGET = 2_000
 
 #: Event-matching implementations an interface table can use.
 MATCHING_KINDS = ("linear", "sfc")
+
+#: Match-index backends the routing layer accepts: the :class:`MatchIndex`
+#: segment stores plus ``"sharded"`` (subscription set partitioned across
+#: inline flat-backend shards, see :mod:`repro.pubsub.sharded_index`).
+ROUTING_BACKEND_NAMES = ("flat", "avl", "skiplist", "sortedlist", "sharded")
 
 
 class CoveringStrategy(Protocol):
@@ -158,7 +166,7 @@ class ApproximateCoveringStrategy:
         attributes: int,
         attribute_order: int,
         epsilon: float = 0.05,
-        backend: str = "avl",
+        backend: str = DEFAULT_BACKEND,
         cube_budget: int = DEFAULT_CUBE_BUDGET,
         curve: str = DEFAULT_CURVE,
     ) -> None:
@@ -236,7 +244,7 @@ def make_covering_strategy(
     kind: str,
     schema: AttributeSchema,
     epsilon: float = 0.05,
-    backend: str = "avl",
+    backend: str = DEFAULT_BACKEND,
     samples: int = 8,
     seed: Optional[int] = None,
     cube_budget: int = DEFAULT_CUBE_BUDGET,
@@ -248,7 +256,9 @@ def make_covering_strategy(
     router would enforce such a bound in practice so a single subscription
     arrival cannot stall the forwarding path.  ``curve`` selects the
     space-filling curve of the approximate strategy's index (the other
-    strategies do not use one).
+    strategies do not use one).  ``backend`` may be any routing-layer backend
+    name; composite matching backends (``"sharded"``) map to the ordered-map
+    backend their shards are built on.
     """
     attributes = schema.num_attributes
     order = schema.order
@@ -261,7 +271,7 @@ def make_covering_strategy(
             attributes,
             order,
             epsilon=epsilon,
-            backend=backend,
+            backend=ordered_map_backend_name(backend),
             cube_budget=cube_budget,
             curve=curve,
         )
@@ -289,10 +299,11 @@ class InterfaceTable:
         interface_id: Hashable,
         schema: Optional[AttributeSchema] = None,
         matching: str = "linear",
-        backend: str = "avl",
+        backend: str = DEFAULT_MATCH_BACKEND,
         run_budget: int = DEFAULT_RUN_BUDGET,
         curve: str = DEFAULT_CURVE,
         seed: Optional[int] = None,
+        shards: int = DEFAULT_SHARDS,
     ) -> None:
         if matching not in MATCHING_KINDS:
             raise ValueError(
@@ -303,17 +314,30 @@ class InterfaceTable:
         self.interface_id = interface_id
         self.matching_kind = matching
         self._subscriptions: Dict[Hashable, Subscription] = {}
-        self._index: Optional[MatchIndex] = (
-            MatchIndex(
-                schema, backend=backend, run_budget=run_budget, curve=curve, seed=seed
-            )
-            if matching == "sfc" and schema is not None
-            else None
-        )
+        if matching == "sfc" and schema is not None:
+            if backend == "sharded":
+                self._index = ShardedMatchIndex(
+                    schema,
+                    shards=shards,
+                    workers="inline",
+                    run_budget=run_budget,
+                    curve=curve,
+                    seed=seed,
+                )
+            else:
+                self._index = MatchIndex(
+                    schema,
+                    backend=backend,
+                    run_budget=run_budget,
+                    curve=curve,
+                    seed=seed,
+                )
+        else:
+            self._index = None
 
     @property
-    def match_index(self) -> Optional[MatchIndex]:
-        """The SFC match index, or ``None`` under linear matching."""
+    def match_index(self):
+        """The SFC match index (plain or sharded), or ``None`` under linear matching."""
         return self._index
 
     def __len__(self) -> int:
@@ -372,10 +396,11 @@ class RoutingTable:
         self,
         schema: Optional[AttributeSchema] = None,
         matching: str = "linear",
-        backend: str = "avl",
+        backend: str = DEFAULT_MATCH_BACKEND,
         run_budget: int = DEFAULT_RUN_BUDGET,
         curve: str = DEFAULT_CURVE,
         seed: Optional[int] = None,
+        shards: int = DEFAULT_SHARDS,
     ) -> None:
         if matching not in MATCHING_KINDS:
             raise ValueError(
@@ -389,6 +414,7 @@ class RoutingTable:
         self._run_budget = run_budget
         self._curve_kind = curve
         self._seed = seed
+        self._shards = shards
         self._tables: Dict[Hashable, InterfaceTable] = {}
         self._curve: Optional[SpaceFillingCurve] = (
             make_curve(curve, Universe(dims=schema.num_attributes, order=schema.order))
@@ -407,6 +433,7 @@ class RoutingTable:
                 run_budget=self._run_budget,
                 curve=self._curve_kind,
                 seed=self._seed,
+                shards=self._shards,
             )
         return self._tables[interface_id]
 

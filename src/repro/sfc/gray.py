@@ -18,13 +18,17 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from typing import List
+
 from ..geometry.bits import (
     deinterleave_bits,
     gray_decode,
     gray_encode,
     interleave_bits,
+    spread_bits,
 )
 from ..geometry.universe import Universe
+from . import vectorized
 from .base import SpaceFillingCurve
 
 __all__ = ["GrayCodeCurve"]
@@ -48,6 +52,37 @@ class GrayCodeCurve(SpaceFillingCurve):
             raise ValueError(f"key {key} is outside [0, {self.universe.max_key}]")
         interleaved = gray_encode(key)
         return deinterleave_bits(interleaved, self.universe.dims, self.universe.order)
+
+    def keys(self, points: Sequence[Sequence[int]]) -> List[int]:
+        """Keys of a batch of cells; identical to ``[self.key(p) for p in points]``.
+
+        When numpy is available and keys fit a machine word the batch is
+        interleaved and Gray-decoded by the vector kernels
+        (:func:`repro.sfc.vectorized.gray_keys`).  The pure-Python fallback
+        reuses the Z curve's trick — each distinct coordinate value is
+        Morton-spread at most once per dimension — and Gray-decodes each
+        interleaved word.
+        """
+        universe = self.universe
+        fast = vectorized.gray_keys(
+            points, universe.dims, universe.order, universe.max_coordinate
+        )
+        if fast is not None:
+            return fast
+        dims = universe.dims
+        caches: List[dict] = [{} for _ in range(dims)]
+        keys: List[int] = []
+        for point in points:
+            pt = universe.validate_point(point)
+            interleaved = 0
+            for dim, coordinate in enumerate(pt):
+                spread = caches[dim].get(coordinate)
+                if spread is None:
+                    spread = spread_bits(coordinate, dims, dims - 1 - dim)
+                    caches[dim][coordinate] = spread
+                interleaved |= spread
+            keys.append(gray_decode(interleaved))
+        return keys
 
 
 def default_gray(dims: int, order: int) -> GrayCodeCurve:

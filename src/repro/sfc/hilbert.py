@@ -18,6 +18,7 @@ from typing import List, Sequence, Tuple
 
 from ..geometry.bits import interleave_bits, deinterleave_bits
 from ..geometry.universe import Universe
+from . import vectorized
 from .base import SpaceFillingCurve
 
 __all__ = ["HilbertCurve"]
@@ -42,6 +43,33 @@ class HilbertCurve(SpaceFillingCurve):
             raise ValueError(f"key {key} is outside [0, {self.universe.max_key}]")
         transpose = list(deinterleave_bits(key, self.universe.dims, self.universe.order))
         return tuple(_transpose_to_axes(transpose, self.universe.order))
+
+    def keys(self, points: Sequence[Sequence[int]]) -> List[int]:
+        """Keys of a batch of cells; identical to ``[self.key(p) for p in points]``.
+
+        When numpy is available and keys fit a machine word, Skilling's
+        transpose runs column-wise over the whole batch
+        (:func:`repro.sfc.vectorized.hilbert_keys`).  The pure-Python fallback
+        memoises the transpose per distinct cell, so batches with recurring
+        cells (hot events, shared cube anchors) pay for each one once.
+        """
+        universe = self.universe
+        fast = vectorized.hilbert_keys(
+            points, universe.dims, universe.order, universe.max_coordinate
+        )
+        if fast is not None:
+            return fast
+        cache: dict = {}
+        keys: List[int] = []
+        for point in points:
+            pt = universe.validate_point(point)
+            key = cache.get(pt)
+            if key is None:
+                transpose = _axes_to_transpose(list(pt), universe.order)
+                key = interleave_bits(transpose, universe.order)
+                cache[pt] = key
+            keys.append(key)
+        return keys
 
 
 def _axes_to_transpose(x: List[int], bits: int) -> List[int]:

@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 from ..geometry.bits import deinterleave_bits, interleave_bits, spread_bits
 from ..geometry.rect import StandardCube
 from ..geometry.universe import Universe
+from . import vectorized
 from .base import KeyRange, SpaceFillingCurve
 
 __all__ = ["ZOrderCurve"]
@@ -46,11 +47,20 @@ class ZOrderCurve(SpaceFillingCurve):
     def keys(self, points: Sequence[Sequence[int]]) -> List[int]:
         """Keys of a batch of cells, amortising the bit-interleaving work.
 
-        Each distinct coordinate value is Morton-spread at most once per
-        dimension across the whole batch, so batches with recurring coordinate
-        values pay far less than per-cell :meth:`key` calls.  Results are
-        identical to ``[self.key(p) for p in points]``.
+        When numpy is available and every key fits a machine word the whole
+        batch is interleaved through the table-driven kernel in
+        :mod:`repro.sfc.vectorized`.  Otherwise each distinct coordinate value
+        is Morton-spread at most once per dimension across the batch, so
+        batches with recurring coordinate values pay far less than per-cell
+        :meth:`key` calls.  Results are identical to
+        ``[self.key(p) for p in points]``.
         """
+        universe = self.universe
+        fast = vectorized.zorder_keys(
+            points, universe.dims, universe.order, universe.max_coordinate
+        )
+        if fast is not None:
+            return fast
         dims = self.universe.dims
         caches: List[dict] = [{} for _ in range(dims)]
         keys: List[int] = []

@@ -1,0 +1,161 @@
+"""Model-based tests for the flattened stores behind the default backend.
+
+:class:`FlatBackend` is differential-tested against a dict + sorted list
+model through random operation sequences, and :class:`FlatSegmentStore`
+against a brute-force "scan every slot's runs" stab oracle — including the
+paths that only open at scale (merges, tombstone compaction, bulk loads).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.backends import FlatBackend, make_backend
+from repro.index.sfc_array import FlatSegmentStore
+from repro.sfc.runs import merge_key_ranges
+
+# ------------------------------------------------------------- FlatBackend
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "get", "first", "scan"]),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=0, max_value=120),
+    ),
+    max_size=120,
+)
+
+
+@given(_ops)
+def test_flat_backend_matches_model(ops):
+    backend = FlatBackend()
+    model = {}
+    for op, a, b in ops:
+        lo, hi = min(a, b), max(a, b)
+        if op == "insert":
+            backend.insert(a, f"v{a}-{b}")
+            model[a] = f"v{a}-{b}"
+        elif op == "delete":
+            assert backend.delete(a) == (a in model)
+            model.pop(a, None)
+        elif op == "get":
+            assert backend.get(a) == model.get(a)
+        elif op == "first":
+            keys = sorted(k for k in model if lo <= k <= hi)
+            expected = (keys[0], model[keys[0]]) if keys else None
+            assert backend.first_in_range(lo, hi) == expected
+        else:
+            expected = [(k, model[k]) for k in sorted(model) if lo <= k <= hi]
+            assert list(backend.items_in_range(lo, hi)) == expected
+        assert len(backend) == len(model)
+    assert list(backend.items()) == [(k, model[k]) for k in sorted(model)]
+
+
+def test_flat_backend_merges_and_compacts():
+    backend = FlatBackend()
+    for k in range(500):
+        backend.insert(k, k)
+    assert backend.merges > 0
+    for k in range(0, 500, 2):
+        backend.delete(k)
+    assert list(backend.items_in_range(0, 10)) == [(1, 1), (3, 3), (5, 5), (7, 7), (9, 9)]
+    # Deleting then re-inserting a key still physically present resurrects it.
+    backend.delete(1)
+    backend.insert(1, "back")
+    assert backend.get(1) == "back"
+    assert backend.first_in_range(0, 2) == (1, "back")
+
+
+def test_make_backend_builds_flat():
+    assert isinstance(make_backend("flat"), FlatBackend)
+
+
+# --------------------------------------------------------- FlatSegmentStore
+
+def _oracle_stab(runs_of, key):
+    return {slot for slot, runs in runs_of.items() if any(lo <= key <= hi for lo, hi in runs)}
+
+
+_run_lists = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 30)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+_store_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 40), _run_lists),
+        st.tuples(st.just("remove"), st.integers(0, 40), st.just(None)),
+        st.tuples(st.just("rebuild"), st.just(0), st.just(None)),
+    ),
+    max_size=60,
+)
+
+
+@given(_store_ops, st.lists(st.integers(0, 240), max_size=30))
+def test_flat_segment_store_matches_oracle(ops, probes):
+    store = FlatSegmentStore()
+    model = {}
+    next_slot = 100  # distinct from the op slot space so re-adds get new slots
+    alias = {}
+    for op, slot, runs in ops:
+        if op == "add":
+            target = alias.get(slot)
+            if target is None:
+                target = next_slot
+                next_slot += 1
+                alias[slot] = target
+                store.add(target, runs)
+                model[target] = merge_key_ranges(runs)
+        elif op == "remove":
+            target = alias.pop(slot, None)
+            removed = store.remove(target) if target is not None else store.remove(-1)
+            if target is not None and target in model:
+                assert removed == len(model.pop(target))
+            else:
+                assert removed == 0
+        else:
+            store.rebuild()
+        assert len(store) == len(model)
+    for key in probes:
+        assert set(store.stab(key)) == _oracle_stab(model, key)
+
+
+def test_flat_segment_store_bulk_equals_incremental():
+    items = [(slot, [(slot * 3, slot * 3 + 10)]) for slot in range(200)]
+    bulk = FlatSegmentStore()
+    bulk.add_bulk(items)
+    incremental = FlatSegmentStore()
+    for slot, runs in items:
+        incremental.add(slot, runs)
+    incremental.rebuild()
+    for key in range(0, 650, 7):
+        assert set(bulk.stab(key)) == set(incremental.stab(key))
+    assert bulk.rebuilds == 1
+    assert bulk.member_entries == incremental.member_entries
+
+
+def test_flat_segment_store_rejects_duplicate_slot():
+    store = FlatSegmentStore()
+    store.add(1, [(0, 5)])
+    with pytest.raises(ValueError):
+        store.add(1, [(6, 9)])
+    store.rebuild()
+    with pytest.raises(ValueError):
+        store.add_bulk([(1, [(6, 9)])])
+
+
+def test_flat_segment_store_tombstone_compaction():
+    store = FlatSegmentStore()
+    store.add_bulk([(slot, [(slot, slot + 2)]) for slot in range(100)])
+    assert store.rebuilds == 1
+    for slot in range(0, 100, 2):
+        store.remove(slot)
+    # Removing half the flattened slots crosses the quarter threshold.
+    assert store.rebuilds > 1
+    assert set(store.stab(5)) == {3, 5}  # covered by 3,4,5; 4 removed
+    assert store.segment_count() > 0

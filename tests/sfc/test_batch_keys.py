@@ -1,0 +1,109 @@
+"""Batch keying: ``keys(pts)`` must equal ``[key(p) for p in pts]`` everywhere.
+
+The vectorized kernels in :mod:`repro.sfc.vectorized` are pure speed — every
+curve's batch entry point must agree bit-for-bit with its scalar bijection,
+fall back to pure Python when numpy is unavailable, and reject invalid points
+with the same errors as the scalar path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.universe import Universe
+from repro.sfc import vectorized
+from repro.sfc.factory import CURVE_KINDS, make_curve
+
+
+def _sample_points(universe: Universe, count: int, seed: int):
+    rng = random.Random(seed)
+    side = universe.side
+    pts = [
+        tuple(rng.randrange(side) for _ in range(universe.dims))
+        for _ in range(count)
+    ]
+    # Always include the corners, where masking/shift bugs hide.
+    pts.append((0,) * universe.dims)
+    pts.append((side - 1,) * universe.dims)
+    return pts
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+@pytest.mark.parametrize(
+    "dims,order",
+    [(1, 1), (1, 8), (2, 1), (2, 4), (2, 10), (3, 3), (3, 7), (4, 5)],
+)
+def test_batch_keys_match_scalar(kind, dims, order):
+    universe = Universe(dims=dims, order=order)
+    curve = make_curve(kind, universe)
+    pts = _sample_points(universe, 200, seed=dims * 100 + order)
+    assert curve.keys(pts) == [curve.key(p) for p in pts]
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+def test_batch_keys_beyond_uint64_fall_back(kind):
+    # dims*order > 63: the vectorized kernels must decline and the pure-Python
+    # path must still agree with the scalar bijection.
+    universe = Universe(dims=2, order=40)
+    curve = make_curve(kind, universe)
+    pts = _sample_points(universe, 50, seed=9)
+    assert curve.keys(pts) == [curve.key(p) for p in pts]
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+def test_batch_keys_without_numpy(kind, monkeypatch):
+    universe = Universe(dims=2, order=6)
+    curve = make_curve(kind, universe)
+    pts = _sample_points(universe, 100, seed=3)
+    expected = [curve.key(p) for p in pts]
+    monkeypatch.setattr(vectorized, "np", None)
+    assert curve.keys(pts) == expected
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+def test_batch_keys_validate_like_scalar(kind):
+    universe = Universe(dims=2, order=4)
+    curve = make_curve(kind, universe)
+    for bad in [(16, 0)], [(-1, 3)], [(0, 0, 0)], [(0,)]:
+        with pytest.raises(ValueError):
+            curve.keys(bad)
+        with pytest.raises(ValueError):
+            curve.key(bad[0])
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+def test_batch_keys_empty(kind):
+    universe = Universe(dims=2, order=4)
+    curve = make_curve(kind, universe)
+    assert curve.keys([]) == []
+    assert curve.cube_key_ranges([]) == []
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+def test_cube_key_ranges_match_scalar(kind):
+    from repro.geometry.rect import StandardCube
+
+    universe = Universe(dims=2, order=5)
+    curve = make_curve(kind, universe)
+    rng = random.Random(11)
+    cubes = []
+    for _ in range(80):
+        level = rng.randrange(universe.order + 1)
+        side = universe.cube_side_at_level(level)
+        low = tuple(rng.randrange(universe.side // side) * side for _ in range(2))
+        cubes.append(StandardCube(universe, low, side))
+    assert curve.cube_key_ranges(cubes) == [curve.cube_key_range(c) for c in cubes]
+
+
+@pytest.mark.parametrize("kind", CURVE_KINDS)
+def test_cube_key_ranges_reject_foreign_universe(kind):
+    from repro.geometry.rect import StandardCube
+
+    universe = Universe(dims=2, order=4)
+    other = Universe(dims=2, order=5)
+    curve = make_curve(kind, universe)
+    cube = StandardCube(other, (0, 0), other.side)
+    with pytest.raises(ValueError):
+        curve.cube_key_ranges([cube])
