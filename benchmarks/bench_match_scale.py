@@ -19,7 +19,6 @@ assertion is dropped (relative timings are meaningless at toy sizes).
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.analysis.experiments import run_match_scale_experiment
@@ -43,12 +42,9 @@ else:
     )
 
 
-def test_match_scale(run_once, record_table, results_dir):
+def test_match_scale(run_once, record_table):
     table = run_once(run_match_scale_experiment, **_PARAMS)
     record_table("match_scale", table)
-    (results_dir / "BENCH_match_scale.json").write_text(
-        json.dumps(table.rows, indent=2, sort_keys=True) + "\n"
-    )
     rows = table.rows
     parity = [r for r in rows if r["phase"] == "parity"]
     scale = {(r["backend"], r["subscriptions"]): r for r in rows if r["phase"] == "scale"}

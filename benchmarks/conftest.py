@@ -26,11 +26,18 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def record_table(results_dir):
-    """Return a callable that saves a ResultTable to the results directory and echoes it."""
+    """Return a callable that saves a ResultTable to the results directory and echoes it.
+
+    Besides the aligned-text rendering, the raw rows are written as
+    ``BENCH_<name>.json`` (the machine-readable convention downstream tooling
+    and the observability snapshots share).
+    """
+    from repro.obs.exposition import write_bench_json
 
     def _record(name: str, table) -> None:
         text = table.to_text()
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        write_bench_json(results_dir / f"BENCH_{name}.json", table.rows)
         print()
         print(text)
 

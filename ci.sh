@@ -34,6 +34,32 @@ REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_sim_latency.py \
     benchmarks/bench_match_scale.py
 
+echo "== metrics / exposition smoke =="
+# The observability layer end to end: a seeded tree scenario must produce
+# Prometheus text that the structural validator accepts (the CLI validates
+# before printing and exits non-zero otherwise) plus a metrics.prom /
+# BENCH_metrics.json pair.
+METRICS_DIR=$(mktemp -d)
+trap 'rm -rf "$METRICS_DIR"' EXIT
+python -m repro.analysis.cli metrics --seed 17 --output "$METRICS_DIR" > /dev/null
+test -s "$METRICS_DIR/metrics.prom"
+test -s "$METRICS_DIR/BENCH_metrics.json"
+python - "$METRICS_DIR" <<'PY'
+import json, pathlib, sys
+out = pathlib.Path(sys.argv[1])
+from repro.obs.exposition import validate_prometheus_text
+samples = validate_prometheus_text((out / "metrics.prom").read_text())
+assert "repro_network_counter_total" in samples, "missing delivery counters"
+assert "repro_hop_latency_seconds_bucket" in samples, "missing hop latency buckets"
+json.loads((out / "BENCH_metrics.json").read_text())
+PY
+
+echo "== profiled tier-1 (REPRO_PROF=1) =="
+# Hot-path profiling hooks must be behaviour-neutral: the whole tier-1 suite
+# runs once with the profiler collecting (smoke hypothesis profile — this
+# pass is about the instrumented code paths, not new counterexamples).
+REPRO_PROF=1 HYPOTHESIS_PROFILE=smoke python -m pytest -x -q tests
+
 echo "== numpy-free fallback tier-1 (REPRO_NO_NUMPY=1) =="
 # The vectorized keying and flat-store sweep paths must stay bit-identical to
 # their pure-python fallbacks; pin the fallbacks by running tier-1 once with

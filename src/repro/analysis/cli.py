@@ -19,6 +19,7 @@ import pathlib
 import sys
 from typing import Callable, Dict, Optional
 
+from ..obs.exposition import validate_prometheus_text, write_bench_json
 from ..sfc.factory import CURVE_KINDS
 from . import experiments
 
@@ -106,6 +107,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "ignore it"
         ),
     )
+    metrics = subparsers.add_parser(
+        "metrics",
+        help=(
+            "run a seeded tree scenario through the observability layer and "
+            "print its Prometheus exposition plus a trace tree"
+        ),
+    )
+    metrics.add_argument("--seed", type=int, default=17)
+    metrics.add_argument("--curve", choices=CURVE_KINDS, default="zorder")
+    metrics.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "directory to write metrics.prom (Prometheus text) and "
+            "BENCH_metrics.json (JSON snapshot) to"
+        ),
+    )
     return parser
 
 
@@ -121,6 +140,24 @@ def _run_one(name: str, output: pathlib.Path | None, curve: Optional[str] = None
         (output / f"{name}.txt").write_text(text + "\n")
 
 
+def _run_metrics(seed: int, curve: str, output: pathlib.Path | None) -> None:
+    """The ``metrics`` subcommand: scenario → validated exposition + trace tree."""
+    result = experiments.run_metrics_scenario(seed=seed, curve=curve)
+    # Validation before printing: a malformed exposition is a bug, not output.
+    validate_prometheus_text(result.prometheus_text)
+    print(result.to_text())
+    print()
+    print(result.trace_tree)
+    print()
+    print(result.critical_path)
+    print()
+    print(result.prometheus_text, end="")
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / "metrics.prom").write_text(result.prometheus_text)
+        write_bench_json(output / "BENCH_metrics.json", result.snapshot)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -128,6 +165,9 @@ def main(argv: list[str] | None = None) -> int:
         for name, fn in sorted(EXPERIMENTS.items()):
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:15s} {doc}")
+        return 0
+    if args.command == "metrics":
+        _run_metrics(args.seed, args.curve, args.output)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -36,6 +36,9 @@ from ..geometry.rect import ExtremalRectangle, Rectangle
 from ..geometry.universe import Universe
 from ..index.kdtree import KDTree
 from ..index.range_tree import RangeTree
+from ..obs.exposition import snapshot as metrics_snapshot
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceLog
 from ..pubsub.network import BrokerNetwork, chain_topology, star_topology, tree_topology
 from ..pubsub.schema import Attribute, AttributeSchema
 from ..pubsub.subscription import Event, Subscription
@@ -43,9 +46,11 @@ from ..sfc.hilbert import HilbertCurve
 from ..sfc.runs import RunProfile
 from ..sfc.zorder import ZOrderCurve
 from ..workloads.generators import EventWorkload, SubscriptionSpec, SubscriptionWorkload
-from .reporting import ResultTable
+from .reporting import ResultTable, format_critical_path, format_trace_tree
 
 __all__ = [
+    "MetricsScenarioResult",
+    "run_metrics_scenario",
     "run_fig1_experiment",
     "run_fig2_experiment",
     "run_thm31_experiment",
@@ -549,6 +554,124 @@ def run_pubsub_experiment(
             events_missed=stats.events_missed,
         )
     return table
+
+
+# ------------------------------------------------------------------ observability
+@dataclass
+class MetricsScenarioResult:
+    """Everything the observability layer produces for one seeded scenario.
+
+    ``table`` holds one row per published event (trace id, hop count,
+    delivery audit); ``prometheus_text`` / ``snapshot`` are the registry's two
+    exposition forms; ``trace_tree`` / ``critical_path`` render the first
+    audited event's trace.  ``network`` is the live network for callers that
+    want to drill further (tests compare its trace hop paths against the
+    overlay routes the delivery audit expects).
+    """
+
+    table: ResultTable
+    prometheus_text: str
+    snapshot: Dict[str, object]
+    trace_tree: str
+    critical_path: str
+    network: BrokerNetwork
+
+    def to_text(self) -> str:
+        """Table rendering, so the CLI treats this like any other experiment."""
+        return self.table.to_text()
+
+
+def run_metrics_scenario(
+    num_brokers: int = 7,
+    num_subscriptions: int = 60,
+    num_events: int = 20,
+    order: int = 8,
+    epsilon: float = 0.3,
+    matching: str = "sfc",
+    curve: str = "zorder",
+    seed: int = 17,
+    trace_capacity: int = 4096,
+) -> MetricsScenarioResult:
+    """E-METRICS: a seeded tree scenario observed through the full obs layer.
+
+    Builds a broker tree on a seeded :class:`~repro.sim.transport.SimTransport`
+    with an enabled metrics registry and trace log, runs a mixed-width
+    subscription workload plus a publish stream, and returns the Prometheus
+    text, the JSON snapshot and per-event trace summaries.  Fully
+    deterministic: two calls with the same arguments return byte-identical
+    ``prometheus_text`` (pinned by tests).
+    """
+    import random as _random
+
+    from ..sim.transport import SimTransport
+
+    schema = _default_schema(order)
+    specs = _mixed_width_workload(
+        attributes=2,
+        order=order,
+        count=num_subscriptions,
+        narrow_fraction=0.8,
+        narrow_width=0.15,
+        wide_width=0.55,
+        seed=seed,
+        prefix="sub",
+    )
+    event_cells = EventWorkload(
+        attributes=2, attribute_order=order, seed=seed + 1
+    ).generate(num_events)
+    network = BrokerNetwork.from_topology(
+        schema,
+        tree_topology(num_brokers),
+        covering="approximate",
+        epsilon=epsilon,
+        seed=seed,
+        matching=matching,
+        curve=curve,
+        transport=SimTransport(seed=seed),
+        metrics=MetricsRegistry(),
+        tracing=TraceLog(capacity=trace_capacity, seed=seed),
+    )
+    rng = _random.Random(seed + 2)
+    placements = [rng.randrange(num_brokers) for _ in specs]
+    publish_at = [rng.randrange(num_brokers) for _ in event_cells]
+    for spec, broker_id in zip(specs, placements):
+        network.subscribe(broker_id, f"client-{spec.sub_id}", _spec_subscription(schema, spec))
+    network.flush()
+
+    table = ResultTable("E-METRICS: traced event routing on a broker tree")
+    for i, cells in enumerate(event_cells):
+        event = Event(
+            schema,
+            {
+                name: schema.dequantize_value(name, cell)
+                for name, cell in zip(schema.names, cells)
+            },
+            event_id=f"event-{i}",
+        )
+        origin = publish_at[i]
+        missed, extra = network.publish_and_audit(origin, event)
+        expected = network.expected_recipients(event, origin=origin)
+        trace_id = network.tracing.trace_id_for("evt", event.event_id)
+        table.add(
+            event_id=event.event_id,
+            origin=origin,
+            trace_id=trace_id,
+            hops=len(network.tracing.hop_spans(trace_id)),
+            delivered=len(expected) - len(missed) + len(extra),
+            missed=len(missed),
+        )
+
+    prometheus_text = network.scrape()
+    first_trace = network.tracing.trace_id_for("evt", "event-0")
+    first_spans = network.tracing.spans(trace_id=first_trace)
+    return MetricsScenarioResult(
+        table=table,
+        prometheus_text=prometheus_text,
+        snapshot=metrics_snapshot(network.metrics),
+        trace_tree=format_trace_tree(first_spans, title="trace event-0"),
+        critical_path=format_critical_path(first_spans, title="event-0"),
+        network=network,
+    )
 
 
 # --------------------------------------------------------------------- event matching

@@ -9,9 +9,15 @@ print them and store them alongside the raw rows.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["format_table", "format_bar_chart", "ResultTable"]
+__all__ = [
+    "format_table",
+    "format_bar_chart",
+    "format_trace_tree",
+    "format_critical_path",
+    "ResultTable",
+]
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -73,6 +79,82 @@ def format_bar_chart(
     for label, value in zip(labels, values):
         bar_len = 0 if peak == 0 else int(round(width * value / peak))
         lines.append(f"{str(label).rjust(label_width)} | {'#' * bar_len} {value:g}")
+    return "\n".join(lines)
+
+
+def _span_sort_key(span) -> Tuple[float, int, str, str]:
+    return (span.start, span.hop, str(span.kind), str(span.broker_id))
+
+
+def format_trace_tree(spans: Sequence[object], title: Optional[str] = None) -> str:
+    """Render one trace's spans as an indented hop tree.
+
+    ``spans`` are duck-typed :class:`~repro.obs.trace.Span` records (all of
+    one trace).  Hop spans are indented by hop depth so the rendering reads as
+    the event's fan-out through the overlay; ``route`` / ``covering`` /
+    ``phase`` spans attach under the broker they ran at.  Deterministic for
+    deterministic span sets.
+    """
+    if not spans:
+        return f"{title or 'trace'}: (no spans)"
+    lines: List[str] = [title] if title else []
+    depth_of: Dict[str, int] = {}
+    for span in sorted(spans, key=_span_sort_key):
+        detail = dict(getattr(span, "detail", ()) or ())
+        if span.kind == "publish":
+            depth_of[str(span.broker_id)] = 0
+            lines.append(f"publish @{span.broker_id} t={span.start:g}")
+        elif span.kind == "hop":
+            depth_of[str(span.broker_id)] = span.hop
+            indent = "  " * span.hop
+            lines.append(
+                f"{indent}hop {span.parent} -> {span.broker_id} "
+                f"t={span.start:g} +{span.duration:g}"
+            )
+        else:
+            depth = depth_of.get(str(span.broker_id), 0)
+            indent = "  " * (depth + 1)
+            extra = (
+                " " + " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+                if detail
+                else ""
+            )
+            lines.append(f"{indent}{span.kind} @{span.broker_id}{extra}")
+    return "\n".join(lines)
+
+
+def format_critical_path(spans: Sequence[object], title: Optional[str] = None) -> str:
+    """Render the slowest hop chain of one trace — its delivery critical path.
+
+    Walks the hop spans backward from the latest arrival to the publishing
+    broker, accumulating per-hop latency, so the output names the links a
+    latency optimisation would have to shorten.
+    """
+    hops = [span for span in spans if getattr(span, "kind", None) == "hop"]
+    if not hops:
+        return f"{title or 'critical path'}: (no hops)"
+    by_receiver: Dict[str, object] = {}
+    for span in sorted(hops, key=_span_sort_key):
+        # First arrival wins: reverse-path forwarding delivers each event to a
+        # broker once per epoch, but a re-trace may record duplicates.
+        by_receiver.setdefault(str(span.broker_id), span)
+    last = max(by_receiver.values(), key=lambda s: (s.start + s.duration, s.hop))
+    chain = [last]
+    cursor = last
+    while str(cursor.parent) in by_receiver:
+        cursor = by_receiver[str(cursor.parent)]
+        if cursor in chain:  # defensive: malformed span sets must not loop
+            break
+        chain.append(cursor)
+    chain.reverse()
+    total = sum(span.duration for span in chain)
+    lines: List[str] = [title] if title else []
+    lines.append(
+        f"critical path: {len(chain)} hop(s), {total:g} total latency, "
+        f"arrives t={last.start + last.duration:g}"
+    )
+    for span in chain:
+        lines.append(f"  {span.parent} -> {span.broker_id}  +{span.duration:g}")
     return "\n".join(lines)
 
 

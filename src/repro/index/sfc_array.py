@@ -24,6 +24,7 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.profiler import profiled
 from ..sfc import vectorized
 from ..sfc.base import KeyRange, SpaceFillingCurve
 from ..sfc.runs import merge_key_ranges
@@ -339,6 +340,7 @@ class FlatSegmentStore:
         ]
         return True
 
+    @profiled("flat_store.rebuild")
     def rebuild(self) -> None:
         """Flatten every live run into fresh parallel arrays (boundary sweep).
 

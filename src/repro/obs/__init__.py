@@ -1,0 +1,59 @@
+"""Unified observability layer: metrics, tracing, exposition and profiling.
+
+The evaluation questions the paper motivates are answered by counters; the
+scale/scenario work layered on top (simulated transports, churn scripts,
+sharded indexes) needs those counters *live*, uniform and explainable
+hop-by-hop.  This package is that substrate:
+
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry` of labeled
+  ``Counter`` / ``Gauge`` / ``Histogram`` metrics, injectable per
+  :class:`~repro.pubsub.network.BrokerNetwork` and cheap to no-op when
+  disabled;
+* :mod:`repro.obs.trace` — deterministic per-message trace contexts (trace
+  ids derived from the workload seed) collected as one
+  :class:`~repro.obs.trace.Span` per hop in a bounded, sampling
+  :class:`~repro.obs.trace.TraceLog`;
+* :mod:`repro.obs.exposition` — Prometheus text-format rendering plus a JSON
+  snapshot writer compatible with the ``BENCH_*.json`` convention;
+* :mod:`repro.obs.profiler` — env-gated (``REPRO_PROF=1``) timing hooks
+  around the hot paths, with near-zero overhead when off.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    HOP_BUCKETS,
+    MetricsRegistry,
+    log_buckets,
+)
+from .trace import Span, TraceLog, derive_trace_id
+from .exposition import (
+    render_prometheus,
+    snapshot,
+    validate_prometheus_text,
+    write_bench_json,
+)
+from .profiler import PROFILER, PROF_ENV, HotPathProfiler, profiled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "HOP_BUCKETS",
+    "MetricsRegistry",
+    "log_buckets",
+    "Span",
+    "TraceLog",
+    "derive_trace_id",
+    "render_prometheus",
+    "snapshot",
+    "validate_prometheus_text",
+    "write_bench_json",
+    "PROFILER",
+    "PROF_ENV",
+    "HotPathProfiler",
+    "profiled",
+]

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.covering import CoveringProfiler
+from ..obs.profiler import profiled
+from ..obs.trace import Span, TraceLog, make_detail
 from ..sfc.factory import CURVE_KINDS, DEFAULT_CURVE
 from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET
 from .sharded_index import DEFAULT_SHARDS
@@ -110,6 +112,12 @@ class Broker:
     profile_cache:
         Optional shared :class:`ProfileCache` (the network passes one cache
         to all its brokers so a subscription is profiled once network-wide).
+    trace:
+        Optional shared :class:`~repro.obs.trace.TraceLog` (the network hands
+        its brokers the same log it records transport hops into).  When set,
+        the broker records one ``route`` span per event it routes and one
+        ``covering`` span per forwarding decision; when ``None`` (the
+        default) instrumentation costs a single ``is not None`` test.
     """
 
     broker_id: Hashable
@@ -127,6 +135,7 @@ class Broker:
     promotion: str = "incremental"
     profile_sharing: bool = True
     profile_cache: Optional[ProfileCache] = None
+    trace: Optional[TraceLog] = None
     stats: BrokerStats = field(default_factory=BrokerStats)
 
     def __post_init__(self) -> None:
@@ -301,6 +310,7 @@ class Broker:
                 return self._store.acquire(subscription)
         return self._store.get(subscription.sub_id) if self.profile_sharing else None
 
+    @profiled("broker.covering_check")
     def _covering_check(
         self,
         strategy: CoveringStrategy,
@@ -386,6 +396,21 @@ class Broker:
             return
         strategy = self._forwarded[neighbor_id]
         covered_by = self._covering_check(strategy, subscription, profile)
+        if self.trace is not None:
+            self.trace.record(
+                Span(
+                    trace_id=self.trace.trace_id_for("sub", subscription.sub_id),
+                    kind="covering",
+                    name=str(subscription.sub_id),
+                    broker_id=self.broker_id,
+                    parent=neighbor_id,
+                    start=self.trace.now(),
+                    detail=make_detail(
+                        decision="suppressed" if covered_by is not None else "forwarded",
+                        covered_by=str(covered_by) if covered_by is not None else "",
+                    ),
+                )
+            )
         if covered_by is not None:
             self._record_suppression(neighbor_id, subscription, covered_by)
             self._decision_log.append(
@@ -647,11 +672,12 @@ class Broker:
         is computed once here and shared across all interface probes.
         """
         self.stats.events_received += 1
-        self._deliver_locally(event)
+        delivered = self._deliver_locally(event)
         if key is None:
             key = self.routing_table.event_key(event)
         # Probe only neighbour tables: the local-client table is handled by
         # _deliver_locally above, so matching it here would be wasted work.
+        forwarded_to: List[Hashable] = []
         for interface_id in self.routing_table.matching_interfaces(
             event, exclude=from_interface, key=key, among=self._neighbors
         ):
@@ -661,7 +687,23 @@ class Broker:
                     f"broker {self.broker_id} has no transport attached; "
                     "add it to a BrokerNetwork before publishing events"
                 )
+            forwarded_to.append(interface_id)
             self._send_event(self.broker_id, interface_id, event)
+        if self.trace is not None:
+            self.trace.record(
+                Span(
+                    trace_id=self.trace.trace_id_for("evt", event.event_id),
+                    kind="route",
+                    name=str(event.event_id),
+                    broker_id=self.broker_id,
+                    parent=from_interface,
+                    start=self.trace.now(),
+                    detail=make_detail(
+                        delivered=delivered,
+                        forwarded_to=tuple(str(i) for i in forwarded_to),
+                    ),
+                )
+            )
 
     def sync_match_stats(self) -> None:
         """Pull the match-index work counters into :attr:`stats`.
@@ -676,15 +718,18 @@ class Broker:
             self.stats.match_index_false_positives,
         ) = self.routing_table.match_work()
 
-    def _deliver_locally(self, event: Event) -> None:
+    def _deliver_locally(self, event: Event) -> int:
+        delivered = 0
         for client_id, subscriptions in self._local_subscribers.items():
             for subscription in subscriptions:
                 self.stats.match_tests += 1
                 if subscription.matches(event):
                     self.stats.events_delivered_locally += 1
+                    delivered += 1
                     if self._deliver is not None:
                         self._deliver(client_id, subscription.sub_id, event)
                     break  # one delivery per client per event
+        return delivered
 
     # -------------------------------------------------------------- accounting
     def routing_state(self) -> Dict[str, Dict[str, List[str]]]:

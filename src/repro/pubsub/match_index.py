@@ -57,6 +57,7 @@ from ..geometry.rect import Rectangle, StandardCube
 from ..geometry.universe import Universe
 from ..index.backends import make_backend
 from ..index.sfc_array import FlatSegmentStore
+from ..obs.profiler import profiled
 from ..sfc.base import KeyRange
 from ..sfc.factory import DEFAULT_CURVE, make_curve
 from ..sfc.runs import merge_key_ranges
@@ -583,6 +584,7 @@ class MatchIndex:
             lo <= cell <= hi for (lo, hi), cell in zip(self._rects[sub_id], cells)
         )
 
+    @profiled("match_index.any_match")
     def any_match(self, cells: Sequence[int], key: Optional[int] = None) -> bool:
         """True when at least one indexed subscription matches the event cells."""
         if key is None:
@@ -608,6 +610,7 @@ class MatchIndex:
             stats.false_positives += 1
         return False
 
+    @profiled("match_index.matching_ids")
     def matching_ids(self, cells: Sequence[int], key: Optional[int] = None) -> List[Hashable]:
         """All indexed subscriptions matching the event cells (order unspecified)."""
         if key is None:

@@ -31,8 +31,11 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 import networkx as nx
 
 from ..core.covering import CoveringProfiler
+from ..obs.exposition import render_prometheus, snapshot
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Span, TraceLog, make_detail
 from ..sfc.factory import DEFAULT_CURVE
-from ..sim.transport import SyncTransport, Transport
+from ..sim.transport import Message, SyncTransport, Transport
 from .broker import LOCAL_INTERFACE, Broker
 from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET
 from .sharded_index import DEFAULT_SHARDS
@@ -115,6 +118,19 @@ class BrokerNetwork:
         When True (default) the network builds one shared
         :class:`~repro.pubsub.subscription_store.ProfileCache` so each
         subscription's covering geometry is computed once network-wide.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` the network
+        publishes its counters into at scrape time (:meth:`scrape`,
+        :meth:`publish_metrics`).  Defaults to a disabled registry: the hot
+        paths keep incrementing plain dataclass counters either way, so a
+        disabled registry costs nothing per event.
+    tracing:
+        Optional :class:`~repro.obs.trace.TraceLog`.  When enabled, every
+        published event gets a deterministic trace id (derived from the
+        network seed and the event id) and the network records a ``publish``
+        root span plus one ``hop`` span per transport arrival; brokers add
+        ``route`` and ``covering`` decision spans.  Defaults to a disabled
+        log (brokers then skip instrumentation entirely).
     """
 
     schema: AttributeSchema
@@ -131,16 +147,30 @@ class BrokerNetwork:
     promotion: str = "incremental"
     profile_sharing: bool = True
     transport: Optional[Transport] = None
+    metrics: Optional[MetricsRegistry] = None
+    tracing: Optional[TraceLog] = None
     brokers: Dict[Hashable, Broker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.transport is None:
             self.transport = SyncTransport()
         self.transport.bind(self)
+        if self.metrics is None:
+            self.metrics = MetricsRegistry(enabled=False)
+        if self.tracing is None:
+            self.tracing = TraceLog(enabled=False, seed=self.seed)
+        # Span timestamps are simulated time, not wall clock — deterministic
+        # under a seeded SimTransport, frozen at 0.0 under SyncTransport.
+        self.tracing.bind_clock(lambda: self.transport.now)
         self.graph = nx.Graph()
         self.subscription_messages = 0
         self.unsubscription_messages = 0
         self.event_messages = 0
+        # Running delivery-audit tallies, accumulated by publish_and_audit so
+        # scrapes report real delivery counts without a replay.
+        self.audited_delivered = 0
+        self.audited_missed = 0
+        self.audited_duplicates = 0
         self.deliveries: List[DeliveryRecord] = []
         self._client_home: Dict[Hashable, Hashable] = {}
         self._client_subscriptions: Dict[Hashable, List[Subscription]] = {}
@@ -179,6 +209,7 @@ class BrokerNetwork:
             promotion=self.promotion,
             profile_sharing=self.profile_sharing,
             profile_cache=self.profile_cache,
+            trace=self.tracing if self.tracing.enabled else None,
         )
         broker.attach_transport(
             self._transport_subscription,
@@ -226,6 +257,8 @@ class BrokerNetwork:
         promotion: str = "incremental",
         profile_sharing: bool = True,
         transport: Optional[Transport] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracing: Optional[TraceLog] = None,
     ) -> "BrokerNetwork":
         """Build a network from an edge list (nodes are created on first sight)."""
         network = cls(
@@ -243,6 +276,8 @@ class BrokerNetwork:
             promotion=promotion,
             profile_sharing=profile_sharing,
             transport=transport,
+            metrics=metrics,
+            tracing=tracing,
         )
         for a, b in edges:
             if a not in network.brokers:
@@ -278,6 +313,29 @@ class BrokerNetwork:
             broker.receive_event(sender, payload)
         else:
             raise ValueError(f"unknown message kind {kind!r}")
+
+    def _observe_arrival(self, message: Message, latency: float) -> None:
+        """Transport callback: one message just reached its receiving broker.
+
+        Records the per-hop span of event messages — ``start`` is the send
+        time, ``duration`` the hop latency (propagation plus queue wait),
+        ``parent``/``broker_id`` the overlay link it crossed.
+        """
+        if not self.tracing.enabled or message.kind != "event":
+            return
+        event_id = getattr(message.payload, "event_id", None)
+        self.tracing.record(
+            Span(
+                trace_id=self.tracing.trace_id_for("evt", event_id),
+                kind="hop",
+                name=str(event_id),
+                broker_id=message.receiver,
+                parent=message.sender,
+                start=message.sent_at,
+                duration=latency,
+                hop=message.hops,
+            )
+        )
 
     def _record_delivery(self, client_id: Hashable, subscription_id: Hashable, event: Event) -> None:
         now = self.transport.now
@@ -503,6 +561,17 @@ class BrokerNetwork:
         if not self.transport.is_up(broker_id):
             raise ValueError(f"broker {broker_id!r} is down")
         self._publish_times.setdefault(event.event_id, self.transport.now)
+        if self.tracing.enabled:
+            self.tracing.record(
+                Span(
+                    trace_id=self.tracing.trace_id_for("evt", event.event_id),
+                    kind="publish",
+                    name=str(event.event_id),
+                    broker_id=broker_id,
+                    start=self.transport.now,
+                    detail=make_detail(origin=str(broker_id)),
+                )
+            )
         self.brokers[broker_id].publish_local(event)
 
     def publish(self, broker_id: Hashable, event: Event) -> Set[Hashable]:
@@ -538,6 +607,17 @@ class BrokerNetwork:
         now = self.transport.now
         for event in events:
             self._publish_times.setdefault(event.event_id, now)
+            if self.tracing.enabled:
+                self.tracing.record(
+                    Span(
+                        trace_id=self.tracing.trace_id_for("evt", event.event_id),
+                        kind="publish",
+                        name=str(event.event_id),
+                        broker_id=broker_id,
+                        start=now,
+                        detail=make_detail(origin=str(broker_id)),
+                    )
+                )
         self.brokers[broker_id].publish_batch(events)
         self.flush()
         delivered: Dict[Hashable, Set[Hashable]] = {event.event_id: set() for event in events}
@@ -583,7 +663,11 @@ class BrokerNetwork:
         """Publish an event and return ``(missed_clients, extra_clients)`` against ground truth."""
         delivered = self.publish(broker_id, event)
         expected = self.expected_recipients(event, origin=broker_id)
-        return expected - delivered, delivered - expected
+        missed, extra = expected - delivered, delivered - expected
+        self.audited_delivered += len(expected) - len(missed)
+        self.audited_missed += len(missed)
+        self.audited_duplicates += len(extra)
+        return missed, extra
 
     # ------------------------------------------------------------------- stats
     def routing_state(self) -> Dict[str, Dict[str, Dict[str, List[str]]]]:
@@ -607,13 +691,16 @@ class BrokerNetwork:
         """Aggregate broker counters into a :class:`NetworkStats` snapshot.
 
         ``events`` optionally replays an audit: each ``(broker_id, event)``
-        pair is published and checked against the ground truth, contributing
-        to the delivered/missed counters.
+        pair is published and checked against the ground truth.  The
+        delivered/missed/duplicate counters are the network's *running* audit
+        tallies (every ``publish_and_audit`` call contributes), so a scrape
+        after a traced run reports the real delivery counts.
         """
         stats = NetworkStats(
             per_broker={broker_id: broker.stats for broker_id, broker in self.brokers.items()},
             routing_table_entries=self.routing_table_entries(),
             subscription_messages=self.subscription_messages,
+            unsubscription_messages=self.unsubscription_messages,
             event_messages=self.event_messages,
             transport=self.transport.stats,
             phase_timings=self.phase_timings(),
@@ -621,13 +708,43 @@ class BrokerNetwork:
             profile_cache_misses=self.profile_cache.misses,
         )
         for broker_id, event in events:
-            missed, extra = self.publish_and_audit(broker_id, event)
-            expected = self.expected_recipients(event, origin=broker_id)
-            stats.events_delivered += len(expected) - len(missed)
-            stats.events_missed += len(missed)
-            stats.duplicate_deliveries += len(extra)
+            self.publish_and_audit(broker_id, event)
+        stats.events_delivered = self.audited_delivered
+        stats.events_missed = self.audited_missed
+        stats.duplicate_deliveries = self.audited_duplicates
         # The match-index work counters live in the per-interface indexes and
         # are pulled into BrokerStats on read rather than per event.
         for broker in self.brokers.values():
             broker.sync_match_stats()
         return stats
+
+    # -------------------------------------------------------------------- obs
+    def publish_metrics(self) -> NetworkStats:
+        """Publish the current counters into the metrics registry.
+
+        Collector-style and idempotent: running totals are copied into the
+        registry (overwriting the previous scrape's values), so calling this
+        twice never double-counts.  Returns the :class:`NetworkStats`
+        snapshot the publication was taken from.
+        """
+        stats = self.collect_stats()
+        stats.publish_to(self.metrics)
+        if self.tracing.enabled:
+            trace_gauge = self.metrics.gauge(
+                "trace_spans",
+                "Spans held by the bounded trace log, by disposition.",
+                labelnames=("state",),
+            )
+            trace_gauge.set(len(self.tracing), state="stored")
+            trace_gauge.set(self.tracing.dropped, state="dropped")
+        return stats
+
+    def scrape(self) -> str:
+        """Publish current counters and render the Prometheus text exposition."""
+        self.publish_metrics()
+        return render_prometheus(self.metrics)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Publish current counters and return the JSON-serializable snapshot."""
+        self.publish_metrics()
+        return snapshot(self.metrics)

@@ -35,6 +35,7 @@ from dataclasses import astuple, fields
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..geometry.universe import Universe
+from ..obs.profiler import profiled
 from ..sfc.factory import DEFAULT_CURVE, make_curve
 from .match_index import DEFAULT_RUN_BUDGET, MatchIndex, MatchIndexStats
 from .schema import AttributeSchema
@@ -163,6 +164,10 @@ class ShardedMatchIndex:
                 self._conns.append(parent_conn)
                 self._procs.append(proc)
         self._closed = False
+        # Final per-shard counters, drained at close() in process mode so the
+        # aggregate survives worker teardown.
+        self._final_stats: Optional[MatchIndexStats] = None
+        self._final_segments: Optional[int] = None
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -179,15 +184,24 @@ class ShardedMatchIndex:
         """Total disjoint key segments across all shards."""
         if self._indexes is not None:
             return sum(index.segment_count() for index in self._indexes)
+        if self._final_segments is not None:
+            return self._final_segments
         for conn in self._conns:
             conn.send(("segments",))
         return sum(conn.recv() for conn in self._conns)
 
     @property
     def stats(self) -> MatchIndexStats:
-        """Aggregated operation counters across all shards (a fresh snapshot)."""
+        """Aggregated operation counters across all shards (a fresh snapshot).
+
+        In process mode the per-shard counters live in the workers; the final
+        aggregate is drained into the parent at :meth:`close`, so reading
+        stats after teardown returns the totals instead of undercounting.
+        """
         if self._indexes is not None:
             shard_stats = [astuple(index.stats) for index in self._indexes]
+        elif self._final_stats is not None:
+            shard_stats = [astuple(self._final_stats)]
         else:
             for conn in self._conns:
                 conn.send(("stats",))
@@ -217,6 +231,7 @@ class ShardedMatchIndex:
             self._conns[shard].send(("add", sub_id, tuple(ranges)))
         self._commit_assignment(sub_id, shard)
 
+    @profiled("sharded.add_batch")
     def add_batch(
         self, items: Sequence[Tuple[Hashable, Sequence[Tuple[int, int]]]]
     ) -> None:
@@ -273,6 +288,7 @@ class ShardedMatchIndex:
             return matched
         return self.matching_ids_batch([cells], keys=[key])[0]
 
+    @profiled("sharded.any_match_batch")
     def any_match_batch(
         self,
         cells_batch: Sequence[Sequence[int]],
@@ -296,6 +312,7 @@ class ShardedMatchIndex:
                     results[i] = True
         return results
 
+    @profiled("sharded.matching_ids_batch")
     def matching_ids_batch(
         self,
         cells_batch: Sequence[Sequence[int]],
@@ -322,12 +339,26 @@ class ShardedMatchIndex:
 
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down process workers (no-op for inline shards; idempotent)."""
+        """Shut down process workers (no-op for inline shards; idempotent).
+
+        Before tearing the workers down, their per-shard counters and segment
+        totals are drained into the parent so :attr:`stats` /
+        :meth:`segment_count` stay accurate after close — the network's
+        match-work accounting would otherwise undercount every sharded
+        interface that was closed before stats collection.
+        """
         if self._closed:
             return
         self._closed = True
         if self._conns is None:
             return
+        try:
+            self._final_stats = self.stats
+            self._final_segments = self.segment_count()
+        except (BrokenPipeError, EOFError, OSError):
+            # A worker already died; keep whatever the last successful read
+            # saw rather than failing teardown.
+            pass
         for conn in self._conns:
             try:
                 conn.send(("close",))

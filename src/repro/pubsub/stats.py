@@ -9,10 +9,13 @@ broker owns a :class:`BrokerStats`; the network aggregates them into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
 
 from ..sim.transport import TransportStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 __all__ = ["BrokerStats", "NetworkStats", "TransportStats"]
 
@@ -41,25 +44,12 @@ class BrokerStats:
     match_index_false_positives: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        """Return the counters as a plain dictionary (for reporting)."""
-        return {
-            "subscriptions_received": self.subscriptions_received,
-            "subscriptions_stored": self.subscriptions_stored,
-            "subscriptions_forwarded": self.subscriptions_forwarded,
-            "subscriptions_suppressed": self.subscriptions_suppressed,
-            "subscriptions_resynced": self.subscriptions_resynced,
-            "promotions": self.promotions,
-            "covering_checks": self.covering_checks,
-            "batch_covering_checks": self.batch_covering_checks,
-            "covering_check_runs": self.covering_check_runs,
-            "events_received": self.events_received,
-            "events_forwarded": self.events_forwarded,
-            "events_delivered_locally": self.events_delivered_locally,
-            "match_tests": self.match_tests,
-            "match_index_lookups": self.match_index_lookups,
-            "match_index_candidates": self.match_index_candidates,
-            "match_index_false_positives": self.match_index_false_positives,
-        }
+        """Return the counters as a plain dictionary (for reporting).
+
+        Field-driven (:func:`dataclasses.asdict`) so a newly added counter can
+        never be silently dropped from reports; a drift-guard test pins this.
+        """
+        return asdict(self)
 
 
 @dataclass
@@ -97,6 +87,7 @@ class NetworkStats:
     per_broker: Dict[Hashable, BrokerStats] = field(default_factory=dict)
     routing_table_entries: int = 0
     subscription_messages: int = 0
+    unsubscription_messages: int = 0
     event_messages: int = 0
     events_delivered: int = 0
     events_missed: int = 0
@@ -136,3 +127,110 @@ class NetworkStats:
             row.update(stats.as_dict())
             rows.append(row)
         return rows
+
+    def as_dict(self) -> Dict[str, object]:
+        """One JSON-serializable snapshot of the whole network's counters.
+
+        Includes the per-broker counters (keys stringified), the flattened
+        transport summary, the wall-clock phase timings and the profile-cache
+        counters — everything a ``BENCH_*.json`` consumer needs in one object.
+        """
+        return {
+            "per_broker": {
+                str(broker_id): stats.as_dict()
+                for broker_id, stats in sorted(
+                    self.per_broker.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "routing_table_entries": self.routing_table_entries,
+            "subscription_messages": self.subscription_messages,
+            "unsubscription_messages": self.unsubscription_messages,
+            "event_messages": self.event_messages,
+            "events_delivered": self.events_delivered,
+            "events_missed": self.events_missed,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "transport": self.transport_summary(),
+            "phase_timings": dict(sorted(self.phase_timings.items())),
+            "profile_cache_hits": self.profile_cache_hits,
+            "profile_cache_misses": self.profile_cache_misses,
+        }
+
+    def publish_to(self, registry: "MetricsRegistry") -> None:
+        """Publish every counter into a metrics registry, collector-style.
+
+        Called at scrape time (idempotent — re-publishing overwrites totals
+        rather than double-counting), so the hot paths keep incrementing their
+        plain dataclass fields and pay no registry call per event.  Wall-clock
+        ``phase_timings`` are deliberately *not* published: Prometheus output
+        must be byte-identical across same-seed runs, and wall time is not.
+        They remain available via :meth:`as_dict` / the JSON snapshot.
+        """
+        from ..obs.registry import HOP_BUCKETS  # local import: obs is optional wiring
+
+        broker_counters = registry.counter(
+            "broker_counter_total",
+            "Per-broker pub/sub counters, by counter name.",
+            labelnames=("broker", "counter"),
+        )
+        for broker_id, stats in self.per_broker.items():
+            for counter_name, value in stats.as_dict().items():
+                broker_counters.set_total(
+                    value, broker=str(broker_id), counter=counter_name
+                )
+        registry.gauge(
+            "routing_table_entries",
+            "Subscription entries stored across all routing tables "
+            "(the quantity covering shrinks).",
+        ).set(self.routing_table_entries)
+        network_counters = registry.counter(
+            "network_counter_total",
+            "Network-wide pub/sub counters, by counter name.",
+            labelnames=("counter",),
+        )
+        for counter_name in (
+            "subscription_messages",
+            "unsubscription_messages",
+            "event_messages",
+            "events_delivered",
+            "events_missed",
+            "duplicate_deliveries",
+            "profile_cache_hits",
+            "profile_cache_misses",
+        ):
+            network_counters.set_total(
+                getattr(self, counter_name), counter=counter_name
+            )
+        transport = self.transport
+        if transport is None:
+            return
+        transport_counters = registry.counter(
+            "transport_counter_total",
+            "Transport message counters, by counter name.",
+            labelnames=("counter",),
+        )
+        for counter_name in (
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "backpressure_retries",
+        ):
+            transport_counters.set_total(
+                getattr(transport, counter_name), counter=counter_name
+            )
+        registry.gauge(
+            "transport_max_queue_depth",
+            "Highest inbox depth any broker reached.",
+        ).set(transport.max_queue_depth)
+        registry.histogram(
+            "delivery_latency_seconds",
+            "End-to-end publish-to-subscriber latency (simulated seconds).",
+        ).set_from(transport.delivery_latencies)
+        registry.histogram(
+            "hop_latency_seconds",
+            "Per-hop transport latency of event messages (simulated seconds).",
+        ).set_from(transport.hop_latencies)
+        registry.histogram(
+            "event_hops",
+            "Overlay hop distance of event messages at arrival.",
+            buckets=HOP_BUCKETS,
+        ).set_from(float(h) for h in transport.hop_counts)

@@ -73,13 +73,20 @@ def _percentiles(values: Sequence[float], qs: Sequence[float]) -> Dict[str, floa
 
 @dataclass
 class Message:
-    """One inter-broker message in flight."""
+    """One inter-broker message in flight.
+
+    ``sent_at`` is the simulated time the sender handed the message to the
+    transport; arrival time minus ``sent_at`` is the message's per-hop latency
+    (propagation delay plus any inbox queueing — zero under the synchronous
+    transport, where time never advances).
+    """
 
     kind: str
     sender: Hashable
     receiver: Hashable
     payload: object
     hops: int = 1
+    sent_at: float = 0.0
 
 
 @dataclass
@@ -101,6 +108,8 @@ class TransportStats:
     backpressure_per_broker: Dict[Hashable, int] = field(default_factory=dict)
     delivery_latencies: List[float] = field(default_factory=list)
     hop_counts: List[int] = field(default_factory=list)
+    #: Per-hop latency (send→arrival, including queue wait) of event messages.
+    hop_latencies: List[float] = field(default_factory=list)
 
     def latency_percentiles(self, qs: Sequence[float] = (50, 90, 99)) -> Dict[str, float]:
         """Return ``{"p50": ..., ...}`` over the recorded delivery latencies."""
@@ -126,6 +135,9 @@ class TransportStats:
         row["hops_max"] = max(self.hop_counts, default=0)
         for name, value in self.hop_percentiles().items():
             row[f"hops_{name}"] = value
+        for name, value in _percentiles(self.hop_latencies, (50, 90, 99)).items():
+            row[f"hop_latency_{name}"] = value
+        row["hop_latency_max"] = max(self.hop_latencies, default=0.0)
         return row
 
 
@@ -197,8 +209,13 @@ class Transport:
 
     def _record_arrival(self, message: Message) -> None:
         self.stats.messages_delivered += 1
+        latency = self.now - message.sent_at
         if message.kind == "event":
             self.stats.hop_counts.append(message.hops)
+            self.stats.hop_latencies.append(latency)
+        observe = getattr(self.network, "_observe_arrival", None)
+        if observe is not None:
+            observe(message, latency)
 
 
 class SyncTransport(Transport):
@@ -284,6 +301,7 @@ class SimTransport(Transport):
             receiver,
             payload,
             hops=self._hops_for(kind, payload, sender, receiver),
+            sent_at=self.kernel.now,
         )
         delay = self.latency.sample(sender, receiver, self._rng)
         link = (sender, receiver)

@@ -35,6 +35,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..obs.trace import Span, make_detail
 from ..pubsub.network import BrokerNetwork
 from ..pubsub.stats import NetworkStats
 from ..pubsub.subscription import Event, Subscription
@@ -501,12 +502,25 @@ def run_dynamic_scenario(
     audits: List[AuditEntry] = []
     counters = {"run": 0, "skipped": 0, "published": 0}
     delivery_start = len(network.deliveries)
+    tracing = network.tracing
+    scenario_trace = tracing.trace_id_for("scenario", name) if tracing.enabled else None
 
     def execute(action: Action) -> None:
         if _action_skippable(network, action):
             counters["skipped"] += 1
             return
         counters["run"] += 1
+        if scenario_trace is not None:
+            tracing.record(
+                Span(
+                    trace_id=scenario_trace,
+                    kind="phase",
+                    name=action.kind,
+                    broker_id=action.broker_id,
+                    start=kernel.now,
+                    detail=make_detail(scenario=name),
+                )
+            )
         if action.kind == "publish":
             counters["published"] += 1
             if action.audit:
@@ -526,6 +540,21 @@ def run_dynamic_scenario(
     for action in actions:
         kernel.schedule_at(start + action.time, lambda action=action: execute(action))
     network.flush()
+    if scenario_trace is not None:
+        # One scenario-level span covering the whole simulated run.
+        tracing.record(
+            Span(
+                trace_id=scenario_trace,
+                kind="phase",
+                name=name,
+                start=start,
+                duration=kernel.now - start,
+                detail=make_detail(
+                    actions_run=counters["run"],
+                    actions_skipped=counters["skipped"],
+                ),
+            )
+        )
 
     delivered_by_event: Dict[Hashable, Set[Hashable]] = {}
     for record in network.deliveries[delivery_start:]:

@@ -1,0 +1,101 @@
+"""Env-gated hot-path profiler: gating, aggregation, decorator transparency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profiler import PROF_ENV, PROFILER, HotPathProfiler, profiled
+
+
+class TestHotPathProfiler:
+    def test_aggregates_per_name(self):
+        prof = HotPathProfiler(enabled=True)
+        prof.record("x", 0.2)
+        prof.record("x", 0.4)
+        prof.record("y", 1.0)
+        summary = prof.summary()
+        assert list(summary) == ["x", "y"]
+        assert summary["x"]["calls"] == 2
+        assert summary["x"]["total_s"] == pytest.approx(0.6)
+        assert summary["x"]["mean_s"] == summary["x"]["total_s"] / 2
+        assert summary["x"]["min_s"] == 0.2
+        assert summary["x"]["max_s"] == 0.4
+
+    def test_rows_mirror_summary(self):
+        prof = HotPathProfiler(enabled=True)
+        prof.record("x", 1.0)
+        (row,) = prof.rows()
+        assert row["hot_path"] == "x" and row["calls"] == 1
+
+    def test_clear(self):
+        prof = HotPathProfiler(enabled=True)
+        prof.record("x", 1.0)
+        prof.clear()
+        assert len(prof) == 0
+
+
+class TestProfiledDecorator:
+    def test_disabled_profiler_records_nothing(self):
+        prof = HotPathProfiler(enabled=False)
+
+        @profiled("work", profiler=prof)
+        def work(a, b):
+            return a + b
+
+        assert work(1, 2) == 3
+        assert len(prof) == 0
+
+    def test_enabled_profiler_times_calls(self):
+        clock_values = iter([0.0, 0.25, 1.0, 1.5])
+        prof = HotPathProfiler(enabled=True, clock=lambda: next(clock_values))
+
+        @profiled("work", profiler=prof)
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert work() == "ok"
+        summary = prof.summary()["work"]
+        assert summary["calls"] == 2
+        assert summary["total_s"] == 0.75
+
+    def test_gate_read_at_call_time(self):
+        prof = HotPathProfiler(enabled=False)
+
+        @profiled("work", profiler=prof)
+        def work():
+            return 1
+
+        work()
+        prof.enabled = True  # flipping the flag affects already-decorated functions
+        work()
+        assert prof.summary()["work"]["calls"] == 1
+
+    def test_exceptions_still_recorded(self):
+        prof = HotPathProfiler(enabled=True)
+
+        @profiled("boom", profiler=prof)
+        def boom():
+            raise RuntimeError("x")
+
+        try:
+            boom()
+        except RuntimeError:
+            pass
+        assert prof.summary()["boom"]["calls"] == 1
+
+    def test_wrapped_exposes_original(self):
+        def work():
+            return 7
+
+        wrapped = profiled("work")(work)
+        assert wrapped.__wrapped__ is work
+        assert wrapped.__name__ == "work"
+
+
+class TestGlobalProfiler:
+    def test_env_gate_matches_import_state(self):
+        # The module-global reads REPRO_PROF once at import; the object itself
+        # is runtime-togglable (the gate is checked per call).
+        assert isinstance(PROFILER, HotPathProfiler)
+        assert PROF_ENV == "REPRO_PROF"

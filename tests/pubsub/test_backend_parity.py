@@ -211,3 +211,37 @@ def test_sharded_rejects_bad_config():
         ShardedMatchIndex(schema, shards=0)
     with pytest.raises(ValueError):
         ShardedMatchIndex(schema, workers="threads")
+
+
+def test_sharded_process_stats_survive_close():
+    """Closing process workers must drain their counters into the parent.
+
+    Regression: before the drain, reading ``stats`` / ``segment_count`` after
+    ``close()`` either hung on dead pipes or silently undercounted every
+    sharded interface torn down before stats collection.
+    """
+    schema = _schema()
+    rng = random.Random(11)
+    items = [
+        (sid, ((lo, min(31, lo + 4)), (lo, min(31, lo + 4))))
+        for sid, lo in ((sid, rng.randrange(28)) for sid in range(40))
+    ]
+    events = [(rng.randrange(32), rng.randrange(32)) for _ in range(25)]
+
+    index = ShardedMatchIndex(schema, shards=2, workers="process")
+    try:
+        index.add_batch(items)
+        index.matching_ids_batch(events)
+        index.any_match_batch(events)
+        live_stats = index.stats
+        live_segments = index.segment_count()
+    finally:
+        index.close()
+
+    assert live_stats.inserts == 40
+    assert live_stats.lookups > 0
+    # After close the drained totals answer instead of the dead workers.
+    assert index.stats == live_stats
+    assert index.segment_count() == live_segments
+    index.close()  # idempotent
+    assert index.stats == live_stats

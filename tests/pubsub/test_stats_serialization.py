@@ -1,0 +1,82 @@
+"""Drift guards: stats serialization must track the dataclass fields.
+
+``BrokerStats.as_dict`` is field-driven (``dataclasses.asdict``) and
+``NetworkStats.as_dict`` builds the whole-network JSON snapshot by hand —
+both are pinned here so a newly added counter can never be silently dropped
+from reports, benchmarks or the metrics exposition.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+
+from repro.pubsub.network import BrokerNetwork, tree_topology
+from repro.pubsub.schema import Attribute, AttributeSchema
+from repro.pubsub.stats import BrokerStats, NetworkStats
+from repro.pubsub.subscription import Event, Subscription
+from repro.sim.transport import SimTransport, TransportStats
+
+
+def _schema():
+    return AttributeSchema(
+        [Attribute("x", 0.0, 100.0), Attribute("y", 0.0, 100.0)], order=5
+    )
+
+
+class TestBrokerStatsDriftGuard:
+    def test_as_dict_keys_are_exactly_the_fields(self):
+        stats = BrokerStats()
+        assert set(stats.as_dict()) == {f.name for f in fields(BrokerStats)}
+
+    def test_as_dict_reflects_values(self):
+        stats = BrokerStats(events_received=3, subscriptions_suppressed=2)
+        d = stats.as_dict()
+        assert d["events_received"] == 3
+        assert d["subscriptions_suppressed"] == 2
+
+    def test_summary_rows_carry_every_counter(self):
+        net_stats = NetworkStats(per_broker={0: BrokerStats(events_received=1)})
+        (row,) = net_stats.summary_rows()
+        assert set(row) == {"broker"} | {f.name for f in fields(BrokerStats)}
+
+
+class TestNetworkStatsDriftGuard:
+    def test_as_dict_covers_every_field(self):
+        # Every NetworkStats field must surface in as_dict (the transport
+        # field flattens into the "transport" summary sub-dict).
+        stats = NetworkStats(transport=TransportStats())
+        d = stats.as_dict()
+        for f in fields(NetworkStats):
+            assert f.name in d, f"NetworkStats.as_dict dropped field {f.name!r}"
+
+    def test_as_dict_is_json_serializable_from_live_network(self):
+        schema = _schema()
+        network = BrokerNetwork.from_topology(
+            schema, tree_topology(5), transport=SimTransport(seed=3)
+        )
+        network.subscribe(
+            0, "alice", Subscription(schema, {"x": (0.0, 60.0)}, sub_id="a")
+        )
+        network.flush()
+        network.publish_and_audit(4, Event(schema, {"x": 30.0, "y": 1.0}))
+        d = network.collect_stats().as_dict()
+        parsed = json.loads(json.dumps(d, sort_keys=True))
+        assert parsed["events_delivered"] == 1
+        assert parsed["events_missed"] == 0
+        assert parsed["per_broker"]["0"]["events_delivered_locally"] == 1
+        assert parsed["transport"]["messages_delivered"] > 0
+        assert all(isinstance(k, str) for k in parsed["per_broker"])
+
+    def test_running_audit_tallies_feed_collect_stats(self):
+        schema = _schema()
+        network = BrokerNetwork.from_topology(schema, tree_topology(3))
+        network.subscribe(
+            2, "bob", Subscription(schema, {"x": (0.0, 100.0)}, sub_id="b")
+        )
+        for _ in range(3):
+            network.publish_and_audit(0, Event(schema, {"x": 50.0, "y": 1.0}))
+        stats = network.collect_stats()
+        assert stats.events_delivered == 3
+        assert stats.events_missed == 0
+        assert stats.duplicate_deliveries == 0
