@@ -107,6 +107,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "ignore it"
         ),
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "boot a networked broker topology: one TCP server per broker "
+            "speaking the versioned wire protocol, /metrics on the same port"
+        ),
+    )
+    serve.add_argument(
+        "--topology", choices=("tree", "chain", "star"), default="tree",
+        help="overlay shape (default: tree)",
+    )
+    serve.add_argument(
+        "--brokers", type=int, default=3, help="number of brokers (default: 3)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--covering", choices=("none", "exact", "approximate", "probabilistic"),
+        default="approximate",
+    )
+    serve.add_argument("--curve", choices=CURVE_KINDS, default="zorder")
+    serve.add_argument("--seed", type=int, default=7)
     metrics = subparsers.add_parser(
         "metrics",
         help=(
@@ -158,6 +181,49 @@ def _run_metrics(seed: int, curve: str, output: pathlib.Path | None) -> None:
         write_bench_json(output / "BENCH_metrics.json", result.snapshot)
 
 
+def _run_serve(
+    topology: str, brokers: int, host: str, covering: str, curve: str, seed: int
+) -> int:
+    """The ``serve`` subcommand: boot a topology and serve it until shutdown.
+
+    Prints one ``BROKER <id> <host> <port>`` line per broker followed by
+    ``SERVING`` once every server accepts connections, then blocks until a
+    client sends a ``shutdown`` command (see :class:`repro.net.NetClient`).
+    """
+    from ..net import NetTransport, serve_network
+    from ..obs.registry import MetricsRegistry
+    from ..pubsub.network import (
+        BrokerNetwork,
+        chain_topology,
+        star_topology,
+        tree_topology,
+    )
+    from ..workloads.scenarios import stock_market_scenario
+
+    builders = {"tree": tree_topology, "chain": chain_topology, "star": star_topology}
+    if brokers < 2:
+        raise SystemExit("serve needs at least 2 brokers")
+    schema = stock_market_scenario(num_subscriptions=0, num_events=0).schema
+    network = BrokerNetwork.from_topology(
+        schema,
+        builders[topology](brokers),
+        covering=covering,
+        curve=curve,
+        seed=seed,
+        transport=NetTransport(host=host),
+        metrics=MetricsRegistry(enabled=True),
+    )
+
+    def on_ready(addresses: Dict[object, tuple]) -> None:
+        for broker_id in sorted(addresses, key=str):
+            bound_host, port = addresses[broker_id]
+            print(f"BROKER {broker_id} {bound_host} {port}", flush=True)
+        print("SERVING", flush=True)
+
+    serve_network(network, on_ready=on_ready)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -166,6 +232,10 @@ def main(argv: list[str] | None = None) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:15s} {doc}")
         return 0
+    if args.command == "serve":
+        return _run_serve(
+            args.topology, args.brokers, args.host, args.covering, args.curve, args.seed
+        )
     if args.command == "metrics":
         _run_metrics(args.seed, args.curve, args.output)
         return 0

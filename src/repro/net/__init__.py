@@ -1,0 +1,39 @@
+"""Networked broker deployment: wire protocol, servers, clients, transport.
+
+The third implementation of the :class:`~repro.sim.transport.Transport` seam:
+:class:`NetTransport` runs each broker behind an asyncio TCP server speaking
+a versioned, length-prefixed JSON protocol (:mod:`repro.net.protocol`), with
+a sync client library (:class:`NetClient`) and a ``/metrics`` endpoint per
+broker serving the observability layer's Prometheus exposition.  The
+scripted-lockstep suite pins sync ≡ sim ≡ net routing state, so the
+networked deployment is provably the same routing machine as the in-process
+transports.
+"""
+
+from .client import NetClient, NetError, NetTimeout, fetch_metrics
+from .net_transport import NetTransport, serve_network
+from .protocol import (
+    MAX_FRAME_SIZE,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    VersionMismatch,
+    encode_frame,
+)
+from .server import BrokerServer
+
+__all__ = [
+    "NetClient",
+    "NetError",
+    "NetTimeout",
+    "NetTransport",
+    "BrokerServer",
+    "FrameDecoder",
+    "ProtocolError",
+    "VersionMismatch",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_SIZE",
+    "encode_frame",
+    "fetch_metrics",
+    "serve_network",
+]

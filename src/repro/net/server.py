@@ -1,0 +1,288 @@
+"""Per-broker asyncio TCP server speaking the versioned wire protocol.
+
+One :class:`BrokerServer` fronts one broker.  Every accepted connection starts
+with a hello handshake (exact-match version negotiation); after that the
+peer's declared role decides the conversation:
+
+* ``link`` peers (other brokers) stream one-way ``message`` frames — each is
+  handed to the ``on_message`` callback in arrival order, so a TCP connection
+  per overlay link gives the same per-link FIFO guarantee the simulated
+  transport models.
+* ``client`` peers send commands (``subscribe`` / ``unsubscribe`` /
+  ``publish`` / ``batch`` / ``ping`` / ``shutdown``) and receive ``ok`` /
+  ``error`` replies correlated by ``seq``.  Commands are *not* executed in the
+  event loop: they go to the ``on_command`` callback together with a
+  thread-safe ``reply`` callable, so a single control thread can serialize all
+  broker-state mutation (see :func:`repro.net.net_transport.serve_network`).
+
+The same port also answers plain HTTP ``GET /metrics`` (detected by peeking
+at the first bytes): the request is routed through ``on_command`` as a
+synthetic ``metrics`` command and the Prometheus text comes back over HTTP —
+one port per broker serves both the wire protocol and the scrape endpoint.
+
+Shutdown is drain-then-close: :meth:`BrokerServer.close` stops accepting new
+connections, lets in-flight frames finish, then closes every open connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from .protocol import (
+    FrameDecoder,
+    ProtocolError,
+    ROLE_CLIENT,
+    ROLE_LINK,
+    check_hello,
+    encode_frame,
+    error_frame,
+    hello_frame,
+)
+
+__all__ = ["BrokerServer", "HTTP_CONTENT_TYPE"]
+
+#: Prometheus text exposition content type served on ``GET /metrics``.
+HTTP_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: How long an HTTP scrape waits for the control thread to render metrics.
+_METRICS_TIMEOUT = 10.0
+
+_READ_CHUNK = 65536
+
+
+class BrokerServer:
+    """An asyncio TCP server for one broker; runs entirely in the event loop.
+
+    Parameters
+    ----------
+    broker_id:
+        The broker this server fronts (announced in the hello reply and
+        checked against every message frame's ``receiver``).
+    on_message:
+        Called as ``on_message(broker_id, frame)`` for every ``message``
+        frame a link peer delivers (event-loop thread; must not block).
+    on_command:
+        Called as ``on_command(broker_id, frame, reply)`` for every client
+        command; ``reply(dict)`` is thread-safe and may be called from any
+        thread exactly once per command.
+    host:
+        Interface to bind (loopback by default).
+    """
+
+    def __init__(
+        self,
+        broker_id: Hashable,
+        *,
+        on_message: Callable[[Hashable, Dict[str, object]], None],
+        on_command: Callable[[Hashable, Dict[str, object], Callable[[Dict[str, object]], None]], None],
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.broker_id = broker_id
+        self.host = host
+        self.port: Optional[int] = None
+        self._on_message = on_message
+        self._on_command = on_command
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._connections: set = set()
+        #: Protocol violations rejected by this server (for tests/metrics).
+        self.protocol_errors = 0
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen (port 0 → ephemeral); return ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(self._handle, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return (self.host, self.port)
+
+    async def close(self) -> None:
+        """Drain-then-close: stop accepting, then close every open connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # Give transports a chance to flush close frames; wait_closed on a
+        # reset connection can raise, which is fine during teardown.
+        for writer in list(self._connections):
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+        self._connections.clear()
+
+    # ------------------------------------------------------------- connections
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            await self._converse(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _converse(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        # Peek enough bytes to tell HTTP from the framed protocol: an HTTP
+        # request line starts with the method name, a frame with a big-endian
+        # length whose first byte is 0x00 for any sane frame size.
+        first = await reader.read(4)
+        if not first:
+            return
+        if first.startswith(b"GET") or first.startswith(b"HEAD"):
+            await self._serve_http(first, reader, writer)
+            return
+
+        decoder = FrameDecoder()
+        try:
+            frames = decoder.feed(first)
+            while not frames:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    decoder.eof()
+                    return
+                frames = decoder.feed(data)
+            hello = check_hello(frames.pop(0))
+        except ProtocolError as exc:
+            self.protocol_errors += 1
+            await self._send_frame(writer, error_frame(str(exc)))
+            return
+        role = hello.get("role", ROLE_CLIENT)
+        writer.write(encode_frame(hello_frame(
+            ROLE_LINK if role == ROLE_LINK else ROLE_CLIENT, self.broker_id
+        )))
+        await writer.drain()
+
+        reply = self._make_reply(writer) if role == ROLE_CLIENT else None
+        try:
+            while True:
+                for frame in frames:
+                    self._accept_frame(role, frame, reply)
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    decoder.eof()
+                    return
+                frames = decoder.feed(data)
+        except ProtocolError as exc:
+            self.protocol_errors += 1
+            await self._send_frame(writer, error_frame(str(exc)))
+
+    def _accept_frame(
+        self,
+        role: str,
+        frame: Dict[str, object],
+        reply: Optional[Callable[[Dict[str, object]], None]],
+    ) -> None:
+        """Route one post-handshake frame to the message or command callback."""
+        if role == ROLE_LINK:
+            if frame.get("type") != "message":
+                raise ProtocolError(
+                    f"link peers may only send message frames, got {frame.get('type')!r}"
+                )
+            if frame.get("receiver") != self.broker_id:
+                raise ProtocolError(
+                    f"message for broker {frame.get('receiver')!r} delivered to "
+                    f"{self.broker_id!r}"
+                )
+            self._on_message(self.broker_id, frame)
+            return
+        if frame.get("type") == "message":
+            raise ProtocolError("client peers may not send message frames")
+        assert reply is not None
+        self._on_command(self.broker_id, frame, reply)
+
+    # ----------------------------------------------------------------- replies
+    def _make_reply(self, writer: asyncio.StreamWriter) -> Callable[[Dict[str, object]], None]:
+        """A thread-safe callable that writes one reply frame to ``writer``."""
+        loop = self._loop
+
+        def write_in_loop(data: bytes) -> None:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(data)
+            except Exception:
+                pass
+
+        def reply(frame: Dict[str, object]) -> None:
+            assert loop is not None
+            loop.call_soon_threadsafe(write_in_loop, encode_frame(frame))
+
+        return reply
+
+    async def _send_frame(self, writer: asyncio.StreamWriter, frame: Dict[str, object]) -> None:
+        try:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------------- http
+    async def _serve_http(
+        self, first: bytes, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one plain HTTP request (``GET /metrics``) and close."""
+        raw = bytearray(first)
+        while b"\r\n" not in raw and b"\n" not in raw and len(raw) < 4096:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                break
+            raw.extend(data)
+        request_line = bytes(raw).split(b"\r\n", 1)[0].split(b"\n", 1)[0]
+        parts = request_line.decode("latin-1", "replace").split()
+        path = parts[1] if len(parts) >= 2 else ""
+        if path.split("?", 1)[0] != "/metrics":
+            await self._send_http(writer, 404, "not found\n", "text/plain; charset=utf-8")
+            return
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+
+        def reply(frame: Dict[str, object]) -> None:
+            def settle() -> None:
+                if not future.done():
+                    future.set_result(frame)
+
+            self._loop.call_soon_threadsafe(settle)
+
+        self._on_command(self.broker_id, {"type": "metrics", "seq": 0}, reply)
+        try:
+            frame = await asyncio.wait_for(future, _METRICS_TIMEOUT)
+        except asyncio.TimeoutError:
+            await self._send_http(
+                writer, 503, "metrics unavailable\n", "text/plain; charset=utf-8"
+            )
+            return
+        if frame.get("type") != "ok":
+            await self._send_http(
+                writer, 500, f"{frame.get('error', 'scrape failed')}\n",
+                "text/plain; charset=utf-8",
+            )
+            return
+        await self._send_http(writer, 200, str(frame.get("body", "")), HTTP_CONTENT_TYPE)
+
+    async def _send_http(
+        self, writer: asyncio.StreamWriter, status: int, body: str, content_type: str
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        except Exception:
+            pass

@@ -219,6 +219,12 @@ class BrokerNetwork:
         )
         self.brokers[broker_id] = broker
         self.graph.add_node(broker_id)
+        # Transports that maintain per-broker infrastructure (the networked
+        # transport runs one TCP server per broker) hook broker creation; the
+        # in-process transports simply don't define the attribute.
+        notify = getattr(self.transport, "broker_added", None)
+        if notify is not None:
+            notify(broker_id)
         return broker
 
     def connect(self, a: Hashable, b: Hashable) -> None:

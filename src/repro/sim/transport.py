@@ -31,7 +31,7 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from .kernel import EventKernel
 from .latency import FixedLatency, LatencyModel
@@ -119,9 +119,13 @@ class TransportStats:
         """Return ``{"p50": ..., ...}`` over the recorded event-message hop counts."""
         return _percentiles(self.hop_counts, qs)
 
-    def as_dict(self) -> Dict[str, float]:
-        """Flatten counters and distribution summaries for reporting."""
-        row: Dict[str, float] = {
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Flatten counters and distribution summaries for reporting.
+
+        Counter and count-like entries stay ``int``; percentiles and maxima
+        over latency distributions are ``float``.
+        """
+        row: Dict[str, Union[int, float]] = {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
@@ -200,6 +204,13 @@ class Transport:
         if kind != "event":
             return 1
         event_id = getattr(payload, "event_id", None)
+        if event_id is None:
+            # Payloads without an event id must not share one depth table —
+            # distinct events would inherit each other's hop depths.  Key by
+            # object identity instead: stable for the payload's lifetime, and
+            # the table is cleared on every flush so a recycled id cannot
+            # resurrect a stale entry once the old payload is gone.
+            event_id = ("anon", id(payload))
         depths = self._event_depth.setdefault(event_id, {})
         hops = depths.get(sender, 0) + 1
         # Reverse-path forwarding on an acyclic overlay delivers each event to
@@ -280,6 +291,14 @@ class SimTransport(Transport):
         self._rng = random.Random(seed)
         self._inboxes: Dict[Hashable, Deque[Message]] = {}
         self._draining: set = set()
+        # Crash fencing.  A crash invalidates every callback scheduled on the
+        # broker's behalf before it: the per-broker drain generation fences
+        # stale ``_process`` callbacks (without it, a drain loop surviving a
+        # crash/recover cycle runs *alongside* the post-recovery loop and the
+        # broker serves at twice its service rate), and the per-link retry
+        # generation fences stale ``_retry_link`` callbacks the same way.
+        self._drain_generation: Dict[Hashable, int] = {}
+        self._retry_generation: Dict[Tuple[Hashable, Hashable], int] = {}
         # Per-link FIFO state.  Overlay links are ordered channels (the broker
         # protocol relies on a subscription and its later withdrawal arriving
         # in order), so arrival times are strictly increasing per link and a
@@ -326,9 +345,19 @@ class SimTransport(Transport):
         if not self._try_enqueue(message):
             self._link_blocked[link] = deque([message])
             self._count_backpressure(message.receiver)
-            self.kernel.schedule(self.backpressure_delay, lambda: self._retry_link(link))
+            self._schedule_retry(link)
 
-    def _retry_link(self, link: Tuple[Hashable, Hashable]) -> None:
+    def _schedule_retry(self, link: Tuple[Hashable, Hashable]) -> None:
+        generation = self._retry_generation.get(link, 0)
+        self.kernel.schedule(
+            self.backpressure_delay, lambda: self._retry_link(link, generation)
+        )
+
+    def _retry_link(self, link: Tuple[Hashable, Hashable], generation: int) -> None:
+        if generation != self._retry_generation.get(link, 0):
+            # Scheduled before a crash purged this link's blocked queue; a
+            # fresh post-recovery queue (if any) has its own retry chain.
+            return
         blocked = self._link_blocked.get(link)
         if not blocked:
             self._link_blocked.pop(link, None)
@@ -341,7 +370,7 @@ class SimTransport(Transport):
         while blocked:
             if not self._try_enqueue(blocked[0]):
                 self._count_backpressure(receiver)
-                self.kernel.schedule(self.backpressure_delay, lambda: self._retry_link(link))
+                self._schedule_retry(link)
                 return
             blocked.popleft()
         self._link_blocked.pop(link, None)
@@ -365,10 +394,19 @@ class SimTransport(Transport):
             self.stats.max_queue_depth = depth
         if message.receiver not in self._draining:
             self._draining.add(message.receiver)
-            self.kernel.schedule(self.service_time, lambda: self._process(message.receiver))
+            self._schedule_process(message.receiver)
         return True
 
-    def _process(self, broker_id: Hashable) -> None:
+    def _schedule_process(self, broker_id: Hashable) -> None:
+        generation = self._drain_generation.get(broker_id, 0)
+        self.kernel.schedule(self.service_time, lambda: self._process(broker_id, generation))
+
+    def _process(self, broker_id: Hashable, generation: int) -> None:
+        if generation != self._drain_generation.get(broker_id, 0):
+            # Scheduled before a crash: the post-recovery drain loop (if any)
+            # owns the inbox now; a stale loop running alongside it would
+            # serve the broker at a multiple of its service rate.
+            return
         inbox = self._inboxes.get(broker_id)
         if not inbox or not self.is_up(broker_id):
             self._draining.discard(broker_id)
@@ -377,7 +415,7 @@ class SimTransport(Transport):
         self._record_arrival(message)
         self.network._dispatch(message.kind, message.sender, message.receiver, message.payload)
         if inbox:
-            self.kernel.schedule(self.service_time, lambda: self._process(broker_id))
+            self._schedule_process(broker_id)
         else:
             self._draining.discard(broker_id)
 
@@ -389,14 +427,26 @@ class SimTransport(Transport):
 
     # ---------------------------------------------------------------- liveness
     def mark_down(self, broker_id: Hashable) -> None:
-        """Crash a broker: its queued inbox is lost along with future arrivals."""
+        """Crash a broker: its queued inbox is lost along with future arrivals.
+
+        Every per-broker and per-incoming-link structure is purged, so a
+        broker that never recovers leaves nothing behind (bounded state under
+        churn), and the drain/retry generations are bumped so callbacks
+        scheduled before the crash cannot act after it.  Purging the link
+        clocks means the FIFO guarantee does not span a crash: an incoming
+        link's channel is reset exactly like a dropped TCP connection.
+        """
         super().mark_down(broker_id)
-        inbox = self._inboxes.get(broker_id)
+        inbox = self._inboxes.pop(broker_id, None)
         if inbox:
             self.stats.messages_dropped += len(inbox)
-            inbox.clear()
         for link in list(self._link_blocked):
             if link[1] == broker_id:
                 self.stats.messages_dropped += len(self._link_blocked[link])
                 del self._link_blocked[link]
+                self._retry_generation[link] = self._retry_generation.get(link, 0) + 1
+        for link in list(self._link_clock):
+            if link[1] == broker_id:
+                del self._link_clock[link]
         self._draining.discard(broker_id)
+        self._drain_generation[broker_id] = self._drain_generation.get(broker_id, 0) + 1

@@ -248,3 +248,116 @@ class TestDeterminism:
         assert kernel.pending > 0  # subscription propagation scheduled
         network.flush()
         assert kernel.pending == 0
+
+
+class TestCrashLifecycleRegressions:
+    """Crash/recover must not leave stale callbacks or per-link state behind."""
+
+    def test_post_recovery_service_rate_is_single(self, schema):
+        # Regression: a _process callback scheduled before a crash used to
+        # survive it (mark_down only discarded the _draining flag), so after
+        # recovery a fresh arrival started a *second* drain loop and the
+        # broker served at twice its service rate.  Pinned by asserting the
+        # inter-delivery spacing after a crash/recover cycle.
+        from repro.pubsub import chain_topology
+
+        transport = SimTransport(FixedLatency(0.1), service_time=1.0, seed=0)
+        network = BrokerNetwork.from_topology(
+            schema, chain_topology(2), covering="exact", transport=transport
+        )
+        network.subscribe(1, "c", Subscription(schema, {"x": (0.0, 100.0)}, sub_id="s"))
+        network.flush()
+        # Queue events at broker 1 so a drain-loop callback is pending...
+        for j in range(3):
+            network.publish_async(
+                0, Event(schema, {"x": 10.0, "y": 1.0}, event_id=f"pre-{j}")
+            )
+        transport.kernel.run(until=transport.now + 0.15)  # arrivals in, none served
+        # ...then crash (wiping the inbox) and recover while it is pending.
+        network.crash_broker(1)
+        network.recover_broker(1)
+        for j in range(4):
+            network.publish_async(
+                0, Event(schema, {"x": 10.0, "y": 1.0}, event_id=f"post-{j}")
+            )
+        network.flush()
+        times = sorted(record.time for record in network.deliveries)
+        assert len(times) == 4  # pre-crash events died with the inbox
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= transport.service_time - 1e-9 for gap in gaps), gaps
+
+    def test_anonymous_payloads_do_not_share_hop_state(self):
+        # Regression: payloads without an event_id all shared the None key in
+        # the per-event depth table, so one anonymous message's hop depth
+        # leaked into every other anonymous message.
+        transport = SyncTransport()
+
+        class Anonymous:  # no event_id attribute at all
+            pass
+
+        first, second = Anonymous(), Anonymous()
+        assert transport._hops_for("event", first, "a", "b") == 1
+        assert transport._hops_for("event", first, "b", "c") == 2
+        # A different payload published *at* b must start from depth 0 there,
+        # not inherit first's depth-1 entry for b.
+        assert transport._hops_for("event", second, "b", "c") == 1
+
+    def test_crash_purges_per_link_and_per_broker_state(self, schema):
+        from repro.pubsub import chain_topology
+
+        transport = SimTransport(
+            FixedLatency(0.1), inbox_capacity=1, service_time=0.5, seed=0
+        )
+        network = BrokerNetwork.from_topology(
+            schema, chain_topology(3), covering="exact", transport=transport
+        )
+        for i in range(6):
+            network.subscribe(
+                2, f"c{i}", Subscription(schema, {"x": (0.0, 90.0)}, sub_id=f"s{i}")
+            )
+        network.flush()
+        # Build a blocked queue against broker 2's 1-slot inbox, then crash it
+        # mid-burst: everything keyed by an incoming link of the dead broker
+        # must be purged, not just the blocked queue.
+        for j in range(6):
+            network.publish_async(
+                1, Event(schema, {"x": 10.0, "y": 1.0}, event_id=f"e{j}")
+            )
+        transport.kernel.run(until=transport.now + 0.3)
+        network.crash_broker(2)
+        assert not any(link[1] == 2 for link in transport._link_blocked)
+        assert not any(link[1] == 2 for link in transport._link_clock)
+        assert 2 not in transport._inboxes
+        assert 2 not in transport._draining
+        network.flush()
+
+    def test_link_state_bounded_after_dynamic_churn(self, schema):
+        # Churn-storm leak check: after a full crash/recover scenario every
+        # per-link dict is bounded by the live overlay (blocked queues fully
+        # drained, link clocks only for overlay edges).
+        from repro.workloads.dynamics import rolling_failures_script, run_dynamic_scenario
+        from repro.workloads.scenarios import stock_market_scenario
+
+        scenario = stock_market_scenario(
+            num_subscriptions=20, num_events=10, order=8, seed=7
+        )
+        transport = SimTransport(UniformJitterLatency(0.05, 0.2), seed=5)
+        network = BrokerNetwork.from_topology(
+            scenario.schema,
+            tree_topology(7),
+            covering="approximate",
+            epsilon=0.2,
+            cube_budget=5_000,
+            transport=transport,
+        )
+        script = rolling_failures_script(
+            scenario, list(range(7)), crash_ids=[2, 4], seed=6
+        )
+        run_dynamic_scenario(network, script)
+        directed_edges = {
+            (a, b) for edge in network.graph.edges for (a, b) in (edge, edge[::-1])
+        }
+        assert transport._link_blocked == {}
+        assert set(transport._link_clock) <= directed_edges
+        assert set(transport._inboxes) <= set(network.brokers)
+        assert transport._draining == set()
