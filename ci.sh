@@ -33,13 +33,18 @@ echo "== benchmark smoke (tiny sizes) =="
 # bench_match_scale's smoke pass still runs the full parity phase: every
 # match backend (flat/avl/skiplist/sortedlist/sharded) under every curve must
 # agree with a brute-force rectangle oracle before anything is timed.
+# bench_topology_scale's smoke pass runs the generated internet-scale
+# topology classes (skewed tree / scale-free / grid-of-clusters) at tiny node
+# counts, including the region netsplit -> per-partition traffic -> heal
+# scenario, and asserts the partition-aware audit is clean in every phase.
 REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_pubsub_propagation.py \
     benchmarks/bench_event_matching.py \
     benchmarks/bench_subscription_churn.py \
     benchmarks/bench_curve_ablation.py \
     benchmarks/bench_sim_latency.py \
-    benchmarks/bench_match_scale.py
+    benchmarks/bench_match_scale.py \
+    benchmarks/bench_topology_scale.py
 
 echo "== metrics / exposition smoke =="
 # The observability layer end to end: a seeded tree scenario must produce

@@ -38,6 +38,16 @@ def _churn_cli_sized(curve: str = "zorder") -> object:
     )
 
 
+def _topology_scale_cli_sized(curve: str = "zorder") -> object:
+    """E-TOPO-SCALE: latency/hop distributions per generated topology class (CLI-sized)."""
+    return experiments.run_topology_scale_experiment(
+        num_brokers=80,
+        num_subscriptions=40,
+        num_events=24,
+        curve=curve,
+    )
+
+
 def _curve_ablation_cli_sized(curve: Optional[str] = None) -> object:
     """E-CURVE: Z-order vs Hilbert vs Gray through the full routing stack (CLI-sized)."""
     return experiments.run_curve_ablation_experiment(
@@ -66,6 +76,8 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "churn": _churn_cli_sized,
     # The full-size sweep lives in benchmarks/bench_curve_ablation.py.
     "curve-ablation": _curve_ablation_cli_sized,
+    # The full-size sweep lives in benchmarks/bench_topology_scale.py.
+    "topology-scale": _topology_scale_cli_sized,
     "dimensionality": experiments.run_dimensionality_experiment,
     "throughput": experiments.run_throughput_experiment,
 }

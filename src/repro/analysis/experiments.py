@@ -60,6 +60,7 @@ __all__ = [
     "run_recall_experiment",
     "run_pubsub_experiment",
     "run_sim_latency_experiment",
+    "run_topology_scale_experiment",
     "run_subscription_churn_experiment",
     "run_event_matching_experiment",
     "run_match_scale_experiment",
@@ -1405,6 +1406,92 @@ def run_sim_latency_experiment(
                 backpressure_retries=summary["backpressure_retries"],
                 messages_sent=summary["messages_sent"],
             )
+    return table
+
+
+# --------------------------------------------------------------- topology scale
+def run_topology_scale_experiment(
+    num_brokers: int = 600,
+    num_subscriptions: int = 60,
+    num_events: int = 40,
+    order: int = 8,
+    topology_classes: Sequence[str] = ("skewed-tree", "scale-free", "grid-cluster"),
+    lan: float = 0.02,
+    wan: float = 0.25,
+    inbox_capacity: int = 64,
+    service_time: float = 0.002,
+    epsilon: float = 0.2,
+    matching: str = "linear",
+    curve: str = "zorder",
+    seed: int = 29,
+) -> ResultTable:
+    """E-TOPO-SCALE: latency/hop distributions per internet-scale topology class.
+
+    For every generated topology class (skewed random tree, Barabási–Albert
+    scale-free, grid-of-clusters WAN), the class's region metadata prices
+    links LAN-vs-WAN (:class:`~repro.sim.latency.RegionLatency`), a sensor
+    flash-crowd script runs over the spanning-tree overlay, and the row
+    reports per-class delivery-latency and overlay-hop percentiles plus the
+    audit outcome — which must be zero missed deliveries at every scale (the
+    safety claim is size-independent).
+    """
+    from ..sim.transport import SimTransport
+    from ..workloads.dynamics import flash_crowd_script, run_dynamic_scenario
+    from ..workloads.scenarios import sensor_network_scenario
+    from ..workloads.topologies import make_topology
+
+    table = ResultTable(
+        "E-TOPO-SCALE: latency/hop distributions per generated topology class"
+    )
+    scenario = sensor_network_scenario(
+        num_subscriptions=num_subscriptions, num_events=num_events, order=order, seed=seed
+    )
+    for kind in topology_classes:
+        topology = make_topology(kind, num_brokers, seed=seed)
+        transport = SimTransport(
+            topology.latency_model(lan=lan, wan=wan),
+            inbox_capacity=inbox_capacity,
+            service_time=service_time,
+            seed=seed,
+        )
+        network = BrokerNetwork.from_topology(
+            scenario.schema,
+            topology.overlay,
+            covering="approximate",
+            epsilon=epsilon,
+            matching=matching,
+            curve=curve,
+            transport=transport,
+            nodes=topology.broker_ids,
+        )
+        # The flash-crowd settle must cover the overlay's worst-case
+        # propagation (diameter x WAN delay), which grows with scale.
+        settle = max(5.0, 4 * wan * num_brokers ** 0.5)
+        report = run_dynamic_scenario(
+            network,
+            flash_crowd_script(
+                scenario, topology.broker_ids, settle=settle, seed=seed + 1
+            ),
+            name=f"topo-scale/{kind}",
+        )
+        summary = report.stats.transport_summary()
+        table.add(
+            topology=kind,
+            brokers=topology.num_brokers,
+            regions=len(topology.region_ids()),
+            underlay_edges=len(topology.underlay),
+            events=report.events_published,
+            missed=report.missed_deliveries,
+            latency_p50=round(summary["latency_p50"], 3),
+            latency_p90=round(summary["latency_p90"], 3),
+            latency_p99=round(summary["latency_p99"], 3),
+            hops_p50=summary["hops_p50"],
+            hops_p90=summary["hops_p90"],
+            hops_max=summary["hops_max"],
+            max_queue_depth=summary["max_queue_depth"],
+            backpressure_retries=summary["backpressure_retries"],
+            messages_sent=summary["messages_sent"],
+        )
     return table
 
 

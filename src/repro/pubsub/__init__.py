@@ -5,6 +5,7 @@ from .client import Publisher, Subscriber
 from .network import (
     BrokerNetwork,
     DeliveryRecord,
+    PartitionAudit,
     chain_topology,
     star_topology,
     tree_topology,
@@ -43,6 +44,7 @@ __all__ = [
     "Subscriber",
     "BrokerNetwork",
     "DeliveryRecord",
+    "PartitionAudit",
     "chain_topology",
     "star_topology",
     "tree_topology",

@@ -45,7 +45,14 @@ from .stats import NetworkStats
 from .subscription import Event, Subscription
 from .subscription_store import ProfileCache
 
-__all__ = ["BrokerNetwork", "DeliveryRecord", "tree_topology", "chain_topology", "star_topology"]
+__all__ = [
+    "BrokerNetwork",
+    "DeliveryRecord",
+    "PartitionAudit",
+    "tree_topology",
+    "chain_topology",
+    "star_topology",
+]
 
 
 def _require_positive_brokers(num_brokers: int) -> None:
@@ -56,6 +63,8 @@ def _require_positive_brokers(num_brokers: int) -> None:
 def tree_topology(num_brokers: int, branching: int = 2) -> List[Tuple[int, int]]:
     """Return the edge list of a balanced tree with ``num_brokers`` nodes."""
     _require_positive_brokers(num_brokers)
+    if branching < 1:
+        raise ValueError(f"branching must be at least 1, got {branching}")
     edges = []
     for child in range(1, num_brokers):
         parent = (child - 1) // branching
@@ -87,6 +96,27 @@ class DeliveryRecord:
     subscription_id: Hashable
     event_id: Hashable
     time: float = 0.0
+
+
+@dataclass(frozen=True)
+class PartitionAudit:
+    """Audit outcome for one live component of a (possibly split) overlay.
+
+    ``component`` is the set of live brokers the event could reach,
+    ``origin`` the broker it was published at, and ``missed`` / ``extra``
+    the audit deltas against the component-restricted ground truth — both
+    empty when delivery within the partition was exact.
+    """
+
+    component: frozenset
+    origin: Hashable
+    event_id: Hashable
+    missed: Set[Hashable]
+    extra: Set[Hashable]
+
+    @property
+    def clean(self) -> bool:
+        return not self.missed and not self.extra
 
 
 @dataclass
@@ -265,8 +295,17 @@ class BrokerNetwork:
         transport: Optional[Transport] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracing: Optional[TraceLog] = None,
+        nodes: Optional[Iterable[Hashable]] = None,
     ) -> "BrokerNetwork":
-        """Build a network from an edge list (nodes are created on first sight)."""
+        """Build a network from an edge list (nodes are created on first sight).
+
+        ``nodes`` optionally pre-creates brokers before the edges are wired —
+        needed for ids an edge list cannot express (a single-broker network
+        has no edges at all).  An empty edge list with no explicit ``nodes``
+        builds the canonical single-broker network (broker ``0``), matching
+        what ``tree_topology(1)`` / ``chain_topology(1)`` / ``star_topology(1)``
+        denote.
+        """
         network = cls(
             schema=schema,
             covering=covering,
@@ -285,6 +324,9 @@ class BrokerNetwork:
             metrics=metrics,
             tracing=tracing,
         )
+        for node in nodes or ():
+            if node not in network.brokers:
+                network.add_broker(node)
         for a, b in edges:
             if a not in network.brokers:
                 network.add_broker(a)
@@ -292,7 +334,7 @@ class BrokerNetwork:
                 network.add_broker(b)
             network.connect(a, b)
         if not network.brokers:
-            raise ValueError("topology has no edges; add at least one broker pair")
+            network.add_broker(0)
         return network
 
     # ---------------------------------------------------------------- transport
@@ -428,6 +470,18 @@ class BrokerNetwork:
         live = self.live_brokers()
         component = nx.node_connected_component(self.graph.subgraph(live), origin)
         return set(component)
+
+    def live_components(self) -> List[Set[Hashable]]:
+        """Connected components of the live overlay, deterministically ordered.
+
+        A fully-up acyclic overlay has exactly one component; every crash of
+        a cut vertex splits the survivors into independent partitions.  The
+        components are sorted by their smallest member (string order) so two
+        same-seed runs enumerate them identically.
+        """
+        live = self.graph.subgraph(self.live_brokers())
+        components = [set(component) for component in nx.connected_components(live)]
+        return sorted(components, key=lambda c: min(str(b) for b in c))
 
     # ------------------------------------------------------------------- usage
     @contextmanager
@@ -674,6 +728,39 @@ class BrokerNetwork:
         self.audited_missed += len(missed)
         self.audited_duplicates += len(extra)
         return missed, extra
+
+    def publish_and_audit_partitions(self, events: Sequence[Event]) -> List[PartitionAudit]:
+        """Audit delivery exactness in *every* live component of the overlay.
+
+        One event is published per live component — at the component's
+        smallest broker (string order) — and audited against the
+        component-restricted ground truth, so a netsplit overlay is checked
+        partition by partition rather than only from one publisher's side.
+        ``events`` supplies the per-component events in component order (see
+        :meth:`live_components`); it must provide at least one event per
+        component, with distinct event ids.  Returns one
+        :class:`PartitionAudit` per component.
+        """
+        components = self.live_components()
+        events = list(events)
+        if len(events) < len(components):
+            raise ValueError(
+                f"need one event per live component ({len(components)}), got {len(events)}"
+            )
+        audits: List[PartitionAudit] = []
+        for component, event in zip(components, events):
+            origin = min(component, key=str)
+            missed, extra = self.publish_and_audit(origin, event)
+            audits.append(
+                PartitionAudit(
+                    component=frozenset(component),
+                    origin=origin,
+                    event_id=event.event_id,
+                    missed=missed,
+                    extra=extra,
+                )
+            )
+        return audits
 
     # ------------------------------------------------------------------- stats
     def routing_state(self) -> Dict[str, Dict[str, Dict[str, List[str]]]]:

@@ -13,6 +13,7 @@ from .latency import (
     DistanceLatency,
     FixedLatency,
     LatencyModel,
+    RegionLatency,
     UniformJitterLatency,
     make_latency_model,
     random_positions,
@@ -33,6 +34,7 @@ __all__ = [
     "FixedLatency",
     "UniformJitterLatency",
     "DistanceLatency",
+    "RegionLatency",
     "random_positions",
     "make_latency_model",
     "MESSAGE_KINDS",

@@ -10,6 +10,11 @@ the overlay link from ``sender`` to ``receiver``?  Three models are provided:
 * :class:`DistanceLatency` — delay proportional to the Euclidean distance
   between broker coordinates (models geographically spread deployments; the
   helper :func:`random_positions` scatters brokers deterministically).
+* :class:`RegionLatency` — two-tier WAN-vs-LAN delays driven by a broker →
+  region map: links inside one region pay the LAN delay, links crossing
+  regions pay the WAN delay, each plus optional uniform jitter.  This is the
+  model the internet-scale cluster-of-clusters topologies
+  (:mod:`repro.workloads.topologies`) wire up from their region metadata.
 
 All randomness flows through the ``rng`` passed to :meth:`sample`, so a seeded
 transport produces identical delays run over run.
@@ -26,6 +31,7 @@ __all__ = [
     "FixedLatency",
     "UniformJitterLatency",
     "DistanceLatency",
+    "RegionLatency",
     "random_positions",
     "make_latency_model",
 ]
@@ -106,6 +112,48 @@ class DistanceLatency:
         )
 
 
+class RegionLatency:
+    """Two-tier WAN-vs-LAN link delays driven by region membership.
+
+    ``regions`` maps each broker id to a region label.  A link whose endpoints
+    share a region costs ``lan`` simulated seconds; a link crossing regions
+    costs ``wan``; both get uniform jitter in ``[0, jitter]`` on top (drawn
+    from the transport's seeded RNG, so runs stay deterministic).  Brokers
+    missing from the map are treated as their own singleton region — every
+    link touching them is a WAN link.
+    """
+
+    def __init__(
+        self,
+        regions: Mapping[Hashable, Hashable],
+        lan: float = 0.05,
+        wan: float = 0.5,
+        jitter: float = 0.0,
+    ) -> None:
+        if lan < 0 or wan < 0 or jitter < 0:
+            raise ValueError(
+                f"lan, wan and jitter must be non-negative, got {lan}, {wan}, {jitter}"
+            )
+        self.regions: Dict[Hashable, Hashable] = dict(regions)
+        self.lan = lan
+        self.wan = wan
+        self.jitter = jitter
+
+    def sample(self, sender: Hashable, receiver: Hashable, rng: random.Random) -> float:
+        region_a = self.regions.get(sender, ("solo", sender))
+        region_b = self.regions.get(receiver, ("solo", receiver))
+        base = self.lan if region_a == region_b else self.wan
+        if self.jitter:
+            base += rng.uniform(0.0, self.jitter)
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegionLatency({len(self.regions)} brokers, lan={self.lan}, "
+            f"wan={self.wan}, jitter={self.jitter})"
+        )
+
+
 def random_positions(
     broker_ids: Sequence[Hashable], seed: Optional[int] = 0, extent: float = 10.0
 ) -> Dict[Hashable, Tuple[float, float]]:
@@ -118,13 +166,16 @@ def random_positions(
 
 
 def make_latency_model(kind: str, **kwargs: object) -> LatencyModel:
-    """Build a latency model by name: ``"fixed"``, ``"uniform"`` or ``"distance"``."""
+    """Build a latency model by name: ``"fixed"``, ``"uniform"``, ``"distance"`` or ``"region"``."""
     if kind == "fixed":
         return FixedLatency(**kwargs)  # type: ignore[arg-type]
     if kind == "uniform":
         return UniformJitterLatency(**kwargs)  # type: ignore[arg-type]
     if kind == "distance":
         return DistanceLatency(**kwargs)  # type: ignore[arg-type]
+    if kind == "region":
+        return RegionLatency(**kwargs)  # type: ignore[arg-type]
     raise ValueError(
-        f"unknown latency model {kind!r}; expected 'fixed', 'uniform' or 'distance'"
+        f"unknown latency model {kind!r}; expected 'fixed', 'uniform', "
+        "'distance' or 'region'"
     )

@@ -1,11 +1,14 @@
-"""Synthetic workload generators, application scenarios and dynamic scripts."""
+"""Synthetic workload generators, scenarios, topologies and dynamic scripts."""
 
 from .dynamics import (
     Action,
     AuditEntry,
     DynamicReport,
     flash_crowd_script,
+    netsplit_heal_script,
+    region_netsplit_script,
     rolling_failures_script,
+    rolling_upgrade_script,
     run_dynamic_scenario,
     subscription_churn_script,
 )
@@ -22,13 +25,25 @@ from .scenarios import (
     sensor_network_scenario,
     stock_market_scenario,
 )
+from .topologies import (
+    TOPOLOGY_CLASSES,
+    Topology,
+    grid_cluster_topology,
+    make_topology,
+    scale_free_topology,
+    skewed_tree_topology,
+    spanning_tree_overlay,
+)
 
 __all__ = [
     "Action",
     "AuditEntry",
     "DynamicReport",
     "flash_crowd_script",
+    "netsplit_heal_script",
+    "region_netsplit_script",
     "rolling_failures_script",
+    "rolling_upgrade_script",
     "run_dynamic_scenario",
     "subscription_churn_script",
     "EventWorkload",
@@ -40,4 +55,11 @@ __all__ = [
     "auction_scenario",
     "sensor_network_scenario",
     "stock_market_scenario",
+    "TOPOLOGY_CLASSES",
+    "Topology",
+    "grid_cluster_topology",
+    "make_topology",
+    "scale_free_topology",
+    "skewed_tree_topology",
+    "spanning_tree_overlay",
 ]

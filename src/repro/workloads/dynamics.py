@@ -13,6 +13,17 @@ objects — subscribe, unsubscribe, publish, crash, recover, join — that
   logic and join-time state announcement.
 * :func:`rolling_failures_script` — brokers crash and recover one after
   another while traffic continues.
+* :func:`netsplit_heal_script` — a set of brokers drops at one instant
+  (severing the overlay into live partitions), audited traffic continues in
+  *every* surviving component, then the split heals and traffic is audited
+  against the reconverged full network.
+* :func:`region_netsplit_script` — the region-level view of the same:
+  netsplit a whole subtree/cluster of a generated
+  :class:`~repro.workloads.topologies.Topology` by crashing its gateways, or
+  black out the entire region at once (a correlated failure).
+* :func:`rolling_upgrade_script` — every broker restarts in sequence
+  (crash, short downtime, recover) while audited traffic flows from
+  whichever brokers are currently up.
 
 Every subscription and event carries an explicit id and all randomness is
 seeded, so two runs of the same script over identically-seeded networks are
@@ -40,6 +51,7 @@ from ..pubsub.network import BrokerNetwork
 from ..pubsub.stats import NetworkStats
 from ..pubsub.subscription import Event, Subscription
 from .scenarios import Scenario
+from .topologies import Topology
 
 __all__ = [
     "Action",
@@ -48,6 +60,9 @@ __all__ = [
     "flash_crowd_script",
     "subscription_churn_script",
     "rolling_failures_script",
+    "netsplit_heal_script",
+    "region_netsplit_script",
+    "rolling_upgrade_script",
     "run_dynamic_scenario",
     "run_scripted_lockstep",
 ]
@@ -403,6 +418,196 @@ def rolling_failures_script(
     for event in healed_probes:
         actions.append(
             Action(time=t, kind="publish", broker_id=rng.choice(list(broker_ids)),
+                   event=event, audit=True)
+        )
+        t += 0.5
+    return sorted(actions, key=lambda a: a.time)
+
+
+def netsplit_heal_script(
+    scenario: Scenario,
+    topology: Topology,
+    down: Sequence[Hashable],
+    *,
+    subscribe_window: float = 5.0,
+    settle: float = 5.0,
+    downtime: float = 12.0,
+    seed: Optional[int] = 0,
+) -> List[Action]:
+    """Netsplit → per-partition traffic → heal → reconverged traffic.
+
+    Subscriptions register across the whole overlay; after a settle window a
+    first slice of the scenario's events is published and audited on the
+    intact network.  Then every broker in ``down`` crashes at one instant —
+    when ``down`` severs the overlay (a cut vertex, a region's gateways) the
+    survivors split into independent partitions.  During the split the second
+    slice of events is published round-robin *inside each live component*
+    (planned statically via :meth:`Topology.components_without`), audited
+    against the component-restricted ground truth: delivery within each
+    partition must stay exact even though the overlay is broken.  At
+    ``downtime`` the crashed brokers recover (flush-and-refill resync), and
+    after a final settle the remaining events are published and audited
+    against the healed full network — clean reconvergence.
+    """
+    down = list(down)
+    if not down:
+        raise ValueError("netsplit_heal_script needs at least one broker to take down")
+    rng = random.Random(seed)
+    prefix = f"netsplit-{scenario.name}"
+    broker_ids = topology.broker_ids
+    survivors = [b for b in broker_ids if b not in set(down)]
+    if not survivors:
+        raise ValueError("netsplit_heal_script cannot take every broker down")
+    actions: List[Action] = []
+    for i, subscription in enumerate(_subscriptions_of(scenario, prefix)):
+        actions.append(
+            Action(
+                time=rng.uniform(0.0, subscribe_window),
+                kind="subscribe",
+                broker_id=rng.choice(broker_ids),
+                client_id=f"{prefix}-client-{i}",
+                subscription=subscription,
+            )
+        )
+    events = _events_of(scenario, prefix)
+    third = max(1, len(events) // 3)
+    pre, split_events, post = events[:third], events[third : 2 * third], events[2 * third :]
+    t = subscribe_window + settle
+    for event in pre:
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(broker_ids),
+                   event=event, audit=True)
+        )
+        t += 0.5
+    # Let the pre-split publishes drain before severing the overlay: an event
+    # still in flight across a link that is about to die would (correctly)
+    # show up as a missed delivery and muddy the partition audit.
+    t += settle
+    split_at = t
+    for broker_id in down:
+        actions.append(Action(time=split_at, kind="crash", broker_id=broker_id))
+    components = topology.components_without(down)
+    t = split_at + settle
+    for i, event in enumerate(split_events):
+        component = components[i % len(components)]
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(component),
+                   event=event, audit=True)
+        )
+        t += 0.5
+    # Drain the split-phase publishes before healing: an event still in
+    # flight at heal time could cross the reconnected boundary and deliver
+    # beyond its partition-restricted snapshot (surfacing as ``extra``).
+    heal_at = max(t + settle, split_at + downtime)
+    for broker_id in down:
+        actions.append(Action(time=heal_at, kind="recover", broker_id=broker_id))
+    t = heal_at + settle
+    for event in post:
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(broker_ids),
+                   event=event, audit=True)
+        )
+        t += 0.5
+    return sorted(actions, key=lambda a: a.time)
+
+
+def region_netsplit_script(
+    scenario: Scenario,
+    topology: Topology,
+    region: Hashable,
+    *,
+    blackout: bool = False,
+    subscribe_window: float = 5.0,
+    settle: float = 5.0,
+    downtime: float = 12.0,
+    seed: Optional[int] = 0,
+) -> List[Action]:
+    """Netsplit or black out one whole region of a generated topology.
+
+    ``blackout=False`` (the default) crashes only the region's overlay
+    gateways: the region's interior stays up but is cut off from the rest of
+    the network — the crash-based model of a WAN netsplit, and audited
+    traffic continues on *both* sides of the split.  ``blackout=True``
+    crashes every member of the region at once — a correlated failure
+    (rack/datacentre loss) whose subscribers drop out of the ground truth
+    until the region heals.  Both variants delegate to
+    :func:`netsplit_heal_script`.
+    """
+    members = topology.region_members(region)
+    if not members:
+        raise ValueError(f"region {region!r} has no members")
+    down = members if blackout else topology.region_gateways(region)
+    if not down:
+        raise ValueError(f"region {region!r} has no overlay gateway to sever")
+    return netsplit_heal_script(
+        scenario,
+        topology,
+        down,
+        subscribe_window=subscribe_window,
+        settle=settle,
+        downtime=downtime,
+        seed=seed,
+    )
+
+
+def rolling_upgrade_script(
+    scenario: Scenario,
+    topology: Topology,
+    upgrade_ids: Optional[Sequence[Hashable]] = None,
+    *,
+    subscribe_window: float = 5.0,
+    settle: float = 5.0,
+    downtime: float = 3.0,
+    gap: float = 6.0,
+    seed: Optional[int] = 0,
+) -> List[Action]:
+    """A rolling upgrade: every broker restarts in sequence under traffic.
+
+    Each broker in ``upgrade_ids`` (default: the whole topology, in id
+    order) crashes, stays down for ``downtime`` and recovers, ``gap`` apart —
+    the overlay is never missing more than one broker at a time, exactly like
+    a one-at-a-time fleet upgrade.  While a broker is down one event is
+    published from a surviving broker and audited against the partition the
+    publisher can reach; after the last recovery settles the remaining
+    events are published and audited against the fully-healed network.
+    """
+    broker_ids = topology.broker_ids
+    upgrades = list(upgrade_ids) if upgrade_ids is not None else list(broker_ids)
+    if not upgrades:
+        raise ValueError("rolling_upgrade_script needs at least one broker to upgrade")
+    if len(broker_ids) < 2:
+        raise ValueError("rolling_upgrade_script needs a second broker to publish from")
+    rng = random.Random(seed)
+    prefix = f"upgrade-{scenario.name}"
+    actions: List[Action] = []
+    for i, subscription in enumerate(_subscriptions_of(scenario, prefix)):
+        actions.append(
+            Action(
+                time=rng.uniform(0.0, subscribe_window),
+                kind="subscribe",
+                broker_id=rng.choice(broker_ids),
+                client_id=f"{prefix}-client-{i}",
+                subscription=subscription,
+            )
+        )
+    events = _events_of(scenario, prefix)
+    probe_iter = iter(events[: len(upgrades)])
+    t = subscribe_window + settle
+    for broker_id in upgrades:
+        actions.append(Action(time=t, kind="crash", broker_id=broker_id))
+        event = next(probe_iter, None)
+        if event is not None:
+            publisher = rng.choice([b for b in broker_ids if b != broker_id])
+            actions.append(
+                Action(time=t + downtime / 2.0, kind="publish", broker_id=publisher,
+                       event=event, audit=True)
+            )
+        actions.append(Action(time=t + downtime, kind="recover", broker_id=broker_id))
+        t += downtime + gap
+    t += settle
+    for event in events[len(upgrades) :]:
+        actions.append(
+            Action(time=t, kind="publish", broker_id=rng.choice(broker_ids),
                    event=event, audit=True)
         )
         t += 0.5

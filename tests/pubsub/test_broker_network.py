@@ -55,6 +55,16 @@ class TestTopologyHelpers:
     def test_single_broker_topology_has_no_edges(self, builder):
         assert builder(1) == []
 
+    @pytest.mark.parametrize("branching", [0, -2])
+    def test_tree_rejects_non_positive_branching(self, branching):
+        # Regression: branching=0 used to raise ZeroDivisionError and a
+        # negative branching silently produced bogus parent indices.
+        with pytest.raises(ValueError, match="branching"):
+            tree_topology(7, branching=branching)
+
+    def test_tree_branching_one_is_a_chain(self):
+        assert tree_topology(4, branching=1) == chain_topology(4)
+
 
 class TestNetworkConstruction:
     def test_from_topology(self, schema):
@@ -91,9 +101,32 @@ class TestNetworkConstruction:
         network.connect("a", "b")
         assert network.brokers["a"].neighbors == ["b"]
 
-    def test_empty_topology_rejected(self, schema):
-        with pytest.raises(ValueError):
-            BrokerNetwork.from_topology(schema, [])
+    def test_empty_topology_builds_single_broker(self, schema):
+        # Regression: this used to raise "topology has no edges" even though
+        # tree/chain/star_topology(1) legitimately return an empty edge list.
+        network = BrokerNetwork.from_topology(schema, [])
+        assert set(network.brokers) == {0}
+
+    @pytest.mark.parametrize("builder", [tree_topology, chain_topology, star_topology])
+    def test_single_broker_topology_accepted(self, schema, builder):
+        network = BrokerNetwork.from_topology(schema, builder(1))
+        assert set(network.brokers) == {0}
+        # The one-broker network is fully functional: subscribe, publish,
+        # audit — all purely local.
+        network.subscribe(0, "solo", Subscription(schema, {"x": (0.0, 50.0)}, sub_id="s"))
+        event = Event(schema, {"x": 10.0, "y": 10.0}, event_id="e")
+        assert network.publish(0, event) == {"solo"}
+        missed, extra = network.publish_and_audit(0, Event(schema, {"x": 20.0, "y": 0.0}, event_id="e2"))
+        assert missed == set() and extra == set()
+        assert network.unsubscribe("solo", "s") is True
+        assert network.publish(0, Event(schema, {"x": 10.0, "y": 0.0}, event_id="e3")) == set()
+
+    def test_explicit_nodes_precreate_brokers(self, schema):
+        network = BrokerNetwork.from_topology(schema, [("a", "b")], nodes=["z", "a"])
+        assert set(network.brokers) == {"a", "b", "z"}
+        # "z" is edge-less but live: a local publish still delivers locally.
+        network.subscribe("z", "zoe", Subscription(schema, {"x": (0.0, 50.0)}, sub_id="zs"))
+        assert network.publish("z", Event(schema, {"x": 1.0, "y": 1.0}, event_id="ze")) == {"zoe"}
 
 
 class TestBrokerWithoutTransport:

@@ -17,10 +17,13 @@ import json
 from repro.pubsub.network import BrokerNetwork, tree_topology
 from repro.workloads.dynamics import (
     flash_crowd_script,
+    region_netsplit_script,
     rolling_failures_script,
+    rolling_upgrade_script,
     run_scripted_lockstep,
     subscription_churn_script,
 )
+from repro.workloads.topologies import skewed_tree_topology
 from repro.workloads.generators import (
     EventWorkload,
     SubscriptionWorkload,
@@ -129,6 +132,21 @@ class TestScriptDigests:
         scenario = stock_market_scenario(num_subscriptions=25, num_events=15, seed=5)
         script = rolling_failures_script(scenario, BROKER_IDS, crash_ids=[2, 4], seed=3)
         assert digest([action_payload(a) for a in script]) == "b382b969bb47251b"
+
+    def test_region_netsplit_digest(self):
+        scenario = stock_market_scenario(num_subscriptions=25, num_events=15, seed=5)
+        topology = skewed_tree_topology(12, skew=1.0, seed=9)
+        region = max(
+            topology.region_ids(), key=lambda r: len(topology.region_members(r))
+        )
+        script = region_netsplit_script(scenario, topology, region, seed=3)
+        assert digest([action_payload(a) for a in script]) == "7aa8c6a1a2a9d6b9"
+
+    def test_rolling_upgrade_digest(self):
+        scenario = stock_market_scenario(num_subscriptions=25, num_events=15, seed=5)
+        topology = skewed_tree_topology(12, skew=1.0, seed=9)
+        script = rolling_upgrade_script(scenario, topology, seed=3)
+        assert digest([action_payload(a) for a in script]) == "4689398016ae7d9a"
 
     def test_hilbert_network_state_digest(self):
         """Same-seed Hilbert-curve network runs must be byte-identical.
