@@ -37,11 +37,15 @@ echo "== benchmark smoke (tiny sizes) =="
 # topology classes (skewed tree / scale-free / grid-of-clusters) at tiny node
 # counts, including the region netsplit -> per-partition traffic -> heal
 # scenario, and asserts the partition-aware audit is clean in every phase.
+# bench_auto_tuning's smoke pass asserts the self-tuning index beats the best
+# static config on matching work for at least 2 of the 3 scenarios, and the
+# driver raises on any tuned-vs-static delivery divergence.
 REPRO_BENCH_SMOKE=1 python -m pytest -q \
     benchmarks/bench_pubsub_propagation.py \
     benchmarks/bench_event_matching.py \
     benchmarks/bench_subscription_churn.py \
     benchmarks/bench_curve_ablation.py \
+    benchmarks/bench_auto_tuning.py \
     benchmarks/bench_sim_latency.py \
     benchmarks/bench_match_scale.py \
     benchmarks/bench_topology_scale.py
@@ -111,6 +115,16 @@ echo "== profiled tier-1 (REPRO_PROF=1) =="
 # runs once with the profiler collecting (smoke hypothesis profile — this
 # pass is about the instrumented code paths, not new counterexamples).
 REPRO_PROF=1 HYPOTHESIS_PROFILE=smoke python -m pytest -x -q tests
+
+echo "== auto-tuned tier-1 (REPRO_AUTOTUNE=1) =="
+# The online tuner must be delivery-invisible under the whole tier-1 suite:
+# REPRO_AUTOTUNE=1 attaches an aggressive tuner (zero drift threshold, no
+# cooldown headroom) to every SFC-matching network the tests build, so every
+# differential/oracle assertion now also runs with staged rebuilds and
+# atomic swaps firing constantly (smoke hypothesis profile — this pass is
+# about swap soundness under the existing assertions, not new
+# counterexamples).
+REPRO_AUTOTUNE=1 HYPOTHESIS_PROFILE=smoke python -m pytest -x -q tests
 
 echo "== numpy-free fallback tier-1 (REPRO_NO_NUMPY=1) =="
 # The vectorized keying and flat-store sweep paths must stay bit-identical to

@@ -65,6 +65,7 @@ __all__ = [
     "run_event_matching_experiment",
     "run_match_scale_experiment",
     "run_curve_ablation_experiment",
+    "run_auto_tuning_experiment",
     "run_dimensionality_experiment",
     "run_throughput_experiment",
 ]
@@ -1684,4 +1685,195 @@ def run_match_scale_experiment(
                     resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
                 ),
             )
+    return table
+
+
+# ----------------------------------------------------------------- auto tuning
+def run_auto_tuning_experiment(
+    scenario_names: Sequence[str] = ("stock", "sensor", "auction"),
+    static_curves: Sequence[str] = ("zorder", "hilbert", "gray"),
+    num_brokers: int = 7,
+    num_subscriptions: int = 240,
+    num_events: int = 360,
+    warmup_events: int = 120,
+    order: int = 9,
+    epsilon: float = 0.2,
+    start_run_budget: int = 1,
+    drift_threshold: float = 0.05,
+    min_lookups: int = 4,
+    cooldown: int = 1,
+    sample_subscriptions: int = 24,
+    probe_log_capacity: int = 32,
+    seed: int = 31,
+) -> ResultTable:
+    """E-TUNE: the online self-tuning index vs every static configuration.
+
+    Models a *drifted deployment*: every network starts from the same
+    initial :class:`~repro.index.config.IndexConfig` (``start_run_budget``
+    coarsens each subscription's decomposition down hard, the kind of config
+    an operator might pin for a sparse install-time workload), then serves an
+    application scenario that punishes it with false positives.  The static
+    networks — one per curve, all on the initial run budget — are stuck with
+    their config; the tuned network starts *identically* to the first static
+    one but carries an :class:`~repro.tuning.AutoTuner` that re-curves /
+    re-decomposes each drifting interface online via staged rebuild + atomic
+    generation swap.
+
+    Protocol per scenario: batch-subscribe everything, publish a warm-up wave
+    (the tuner adapts during it), snapshot the deterministic work counters,
+    publish the measurement wave, and report the *measurement-window* work —
+    candidates checked per event, the backend-independent unit every other
+    matching experiment uses.  Wall-clock throughput is reported alongside
+    but the acceptance comparison is on work units.
+
+    The driver asserts the tuned ≡ static differential inline: per-event
+    delivery sets must be identical across every configuration, tuned or not
+    — tuning may change work, never semantics.
+    """
+    import random as _random
+
+    from ..index.config import IndexConfig
+    from ..workloads.scenarios import (
+        auction_scenario,
+        sensor_network_scenario,
+        stock_market_scenario,
+    )
+
+    if not 0 < warmup_events < num_events:
+        raise ValueError(
+            f"warmup_events must lie in (0, num_events), got {warmup_events}/{num_events}"
+        )
+    scenario_factories = {
+        "stock": stock_market_scenario,
+        "sensor": sensor_network_scenario,
+        "auction": auction_scenario,
+    }
+    table = ResultTable("E-TUNE: self-tuning index vs static configs (drifted start)")
+
+    for scenario_name in scenario_names:
+        scenario = scenario_factories[scenario_name](
+            num_subscriptions=num_subscriptions,
+            num_events=num_events,
+            order=order,
+            seed=seed,
+        )
+        schema = scenario.schema
+        subscriptions = [
+            Subscription(schema, constraints, sub_id=f"{scenario_name}-sub-{i}")
+            for i, constraints in enumerate(scenario.subscriptions)
+        ]
+        events = [
+            Event(schema, values, event_id=f"{scenario_name}-event-{i}")
+            for i, values in enumerate(scenario.events)
+        ]
+        rng = _random.Random(seed + 1)
+        batches: Dict[int, List[Tuple[str, Subscription]]] = {}
+        for sub in subscriptions:
+            batches.setdefault(rng.randrange(num_brokers), []).append(
+                (f"client-{sub.sub_id}", sub)
+            )
+        origins = [rng.randrange(num_brokers) for _ in events]
+
+        def run_one(config: IndexConfig, tuned: bool):
+            network = BrokerNetwork.from_topology(
+                schema,
+                tree_topology(num_brokers),
+                covering="approximate",
+                epsilon=epsilon,
+                matching="sfc",
+                seed=seed,
+                config=config,
+            )
+            tuner = (
+                network.attach_tuner(
+                    drift_threshold=drift_threshold,
+                    min_lookups=min_lookups,
+                    cooldown=cooldown,
+                    sample_subscriptions=sample_subscriptions,
+                    probe_log_capacity=probe_log_capacity,
+                )
+                if tuned
+                else None
+            )
+            for broker_id, items in batches.items():
+                network.subscribe_batch(broker_id, items)
+            delivered: Dict[Hashable, frozenset] = {}
+            for event, origin in zip(events[:warmup_events], origins):
+                delivered[event.event_id] = frozenset(network.publish(origin, event))
+            work_before = [
+                broker.routing_table.match_work()
+                for broker in network.brokers.values()
+            ]
+            start = time.perf_counter()
+            for event, origin in zip(
+                events[warmup_events:], origins[warmup_events:]
+            ):
+                delivered[event.event_id] = frozenset(network.publish(origin, event))
+            seconds = time.perf_counter() - start
+            work_after = [
+                broker.routing_table.match_work()
+                for broker in network.brokers.values()
+            ]
+            candidates = sum(a[1] - b[1] for a, b in zip(work_after, work_before))
+            false_positives = sum(a[2] - b[2] for a, b in zip(work_after, work_before))
+            segments = sum(
+                broker.routing_table.match_segments()
+                for broker in network.brokers.values()
+            )
+            return network, tuner, delivered, candidates, false_positives, segments, seconds
+
+        measured = num_events - warmup_events
+        deliveries: Dict[str, Dict[Hashable, frozenset]] = {}
+        for curve in static_curves:
+            config = IndexConfig(curve=curve, run_budget=start_run_budget)
+            _, _, delivered, candidates, fps, segments, seconds = run_one(
+                config, tuned=False
+            )
+            deliveries[f"static:{curve}"] = delivered
+            table.add(
+                scenario=scenario_name,
+                config=f"static:{curve}",
+                events=measured,
+                candidates_checked=candidates,
+                false_positives=fps,
+                work_per_event=round(candidates / measured, 2),
+                segments=segments,
+                rebuilds=0,
+                swaps=0,
+                seconds=round(seconds, 4),
+            )
+
+        config = IndexConfig(curve=static_curves[0], run_budget=start_run_budget)
+        _, tuner, delivered, candidates, fps, segments, seconds = run_one(
+            config, tuned=True
+        )
+        deliveries["tuned"] = delivered
+        counters = tuner.counters()
+        table.add(
+            scenario=scenario_name,
+            config="tuned",
+            events=measured,
+            candidates_checked=candidates,
+            false_positives=fps,
+            work_per_event=round(candidates / measured, 2),
+            segments=segments,
+            rebuilds=counters["rebuilds"],
+            swaps=counters["swaps"],
+            seconds=round(seconds, 4),
+        )
+
+        baseline_name = f"static:{static_curves[0]}"
+        baseline = deliveries[baseline_name]
+        for name, delivered in deliveries.items():
+            if delivered != baseline:
+                differing = [
+                    event_id
+                    for event_id in baseline
+                    if delivered.get(event_id) != baseline[event_id]
+                ]
+                raise AssertionError(
+                    f"delivery sets differ between {baseline_name!r} and {name!r} on "
+                    f"{scenario_name} for events {differing[:5]} — tuning must "
+                    "never change semantics"
+                )
     return table

@@ -25,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..geometry.transform import DominanceTransform, Range
-from ..index.backends import DEFAULT_BACKEND
-from ..sfc.factory import DEFAULT_CURVE, make_curve
+from ..index.backends import ordered_map_backend_name
+from ..index.config import IndexConfig, resolve_index_config
+from ..sfc.factory import make_curve
 from .approx_dominance import (
     ApproximateDominanceIndex,
     DominanceQueryResult,
@@ -89,21 +90,33 @@ class CoveringProfiler:
     handed to any of them.
     """
 
+    #: Offline default ε-cube budget of a broker-level profiler; far larger
+    #: than the routing default because the profiler runs once per stored
+    #: subscription, not once per covering probe.
+    DEFAULT_PROFILER_CUBE_BUDGET = 1_000_000
+
     def __init__(
         self,
         attributes: int,
         attribute_order: int,
-        epsilon: float = 0.05,
-        cube_budget: int = 1_000_000,
-        curve: str = DEFAULT_CURVE,
+        epsilon: Optional[float] = None,
+        cube_budget: Optional[int] = None,
+        curve: Optional[str] = None,
+        config: Optional[IndexConfig] = None,
     ) -> None:
+        if config is None and cube_budget is None:
+            cube_budget = self.DEFAULT_PROFILER_CUBE_BUDGET
+        config = resolve_index_config(
+            config, epsilon=epsilon, cube_budget=cube_budget, curve=curve
+        )
+        self.config = config
         self.attributes = attributes
         self.attribute_order = attribute_order
-        self.epsilon = epsilon
-        self.cube_budget = cube_budget
-        self.curve = curve
+        self.epsilon = config.epsilon
+        self.cube_budget = config.cube_budget
+        self.curve = config.curve
         self.transform = DominanceTransform(attributes, attribute_order)
-        self._curve = make_curve(curve, self.transform.universe)
+        self._curve = make_curve(config.curve, self.transform.universe)
 
     @property
     def cache_key(self) -> Tuple:
@@ -112,14 +125,15 @@ class CoveringProfiler:
         Two profilers with equal cache keys produce interchangeable profiles;
         :class:`~repro.pubsub.subscription_store.ProfileCache` namespaces its
         entries by this key so that (in particular) the same subscription
-        profiled under two different curves never shares a cached plan.
+        profiled under two different curves never shares a cached plan.  The
+        plan-shaping knobs come from the config's covering key, so profilers
+        built from configs differing only in storage knobs (backend, run
+        budget, shards) share a namespace — their profiles are identical.
         """
         return (
-            self.curve,
+            self.config.covering_key(),
             self.attributes,
             self.attribute_order,
-            self.epsilon,
-            self.cube_budget,
         )
 
     def profile(self, ranges: Sequence[Range]) -> CoveringProfile:
@@ -132,6 +146,7 @@ class CoveringProfiler:
             epsilon=self.epsilon,
             cube_budget=self.cube_budget,
             curve=self._curve,
+            config=self.config,
         )
         return CoveringProfile(ranges=validated, point=point, plan=plan)
 
@@ -161,15 +176,32 @@ class ApproximateCoveringDetector:
 
     attributes: int
     attribute_order: int
-    epsilon: float = 0.05
-    backend: str = DEFAULT_BACKEND
-    cube_budget: int = 1_000_000
-    curve: str = DEFAULT_CURVE
+    epsilon: Optional[float] = None
+    backend: Optional[str] = None
+    cube_budget: Optional[int] = None
+    curve: Optional[str] = None
     seed: Optional[int] = None
+    config: Optional[IndexConfig] = None
     transform: DominanceTransform = field(init=False)
     index: ApproximateDominanceIndex = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.config is None and self.cube_budget is None:
+            self.cube_budget = CoveringProfiler.DEFAULT_PROFILER_CUBE_BUDGET
+        config = resolve_index_config(
+            self.config,
+            epsilon=self.epsilon,
+            backend=self.backend,
+            cube_budget=self.cube_budget,
+            curve=self.curve,
+        )
+        self.config = config
+        self.epsilon = config.epsilon
+        # The dominance index needs an ordered map; the composite "sharded"
+        # matching backend maps to the flat store its shards are built on.
+        self.backend = ordered_map_backend_name(config.backend)
+        self.cube_budget = config.cube_budget
+        self.curve = config.curve
         self.transform = DominanceTransform(self.attributes, self.attribute_order)
         self.index = ApproximateDominanceIndex(
             universe=self.transform.universe,
@@ -178,6 +210,7 @@ class ApproximateCoveringDetector:
             backend=self.backend,
             cube_budget=self.cube_budget,
             seed=self.seed,
+            config=config,
         )
         self._subscriptions: Dict[Hashable, Tuple[Range, ...]] = {}
 

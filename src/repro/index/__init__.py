@@ -1,6 +1,19 @@
 """Index structures: the SFC array and its backends, plus spatial baselines."""
 
 from .avl import AVLTree
+from .config import (
+    DEFAULT_CUBE_BUDGET,
+    DEFAULT_EPSILON,
+    DEFAULT_MATCH_BACKEND,
+    DEFAULT_PRECISION_BITS,
+    DEFAULT_RUN_BUDGET,
+    DEFAULT_SHARDS,
+    INDEX_BACKEND_NAMES,
+    MATCH_BACKEND_NAMES,
+    PRECISION_BIT_BUDGET,
+    IndexConfig,
+    resolve_index_config,
+)
 from .backends import (
     BACKEND_NAMES,
     DEFAULT_BACKEND,
@@ -21,6 +34,17 @@ from .skiplist import SkipList
 __all__ = [
     "AVLTree",
     "SkipList",
+    "IndexConfig",
+    "resolve_index_config",
+    "INDEX_BACKEND_NAMES",
+    "MATCH_BACKEND_NAMES",
+    "DEFAULT_MATCH_BACKEND",
+    "DEFAULT_RUN_BUDGET",
+    "DEFAULT_PRECISION_BITS",
+    "PRECISION_BIT_BUDGET",
+    "DEFAULT_CUBE_BUDGET",
+    "DEFAULT_EPSILON",
+    "DEFAULT_SHARDS",
     "BACKEND_NAMES",
     "DEFAULT_BACKEND",
     "AVLBackend",

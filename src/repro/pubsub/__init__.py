@@ -14,6 +14,7 @@ from .match_index import (
     DEFAULT_MATCH_BACKEND,
     DEFAULT_RUN_BUDGET,
     MATCH_BACKEND_NAMES,
+    IndexConfig,
     MatchIndex,
     MatchIndexStats,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "tree_topology",
     "DEFAULT_CUBE_BUDGET",
     "DEFAULT_RUN_BUDGET",
+    "IndexConfig",
     "MATCHING_KINDS",
     "MatchIndex",
     "MatchIndexStats",

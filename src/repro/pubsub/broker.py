@@ -29,13 +29,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.covering import CoveringProfiler
+from ..index.config import IndexConfig, resolve_index_config
 from ..obs.profiler import profiled
 from ..obs.trace import Span, TraceLog, make_detail
-from ..sfc.factory import CURVE_KINDS, DEFAULT_CURVE
-from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET
-from .sharded_index import DEFAULT_SHARDS
 from .routing_table import (
-    DEFAULT_CUBE_BUDGET,
     CoveringStrategy,
     RoutingTable,
     make_covering_strategy,
@@ -123,19 +120,20 @@ class Broker:
     broker_id: Hashable
     schema: AttributeSchema
     covering: str = "approximate"
-    epsilon: float = 0.05
-    backend: str = DEFAULT_MATCH_BACKEND
-    shards: int = DEFAULT_SHARDS
+    epsilon: Optional[float] = None
+    backend: Optional[str] = None
+    shards: Optional[int] = None
     samples: int = 8
     seed: Optional[int] = None
-    cube_budget: int = DEFAULT_CUBE_BUDGET
+    cube_budget: Optional[int] = None
     matching: str = "linear"
-    run_budget: int = DEFAULT_RUN_BUDGET
-    curve: str = DEFAULT_CURVE
+    run_budget: Optional[int] = None
+    curve: Optional[str] = None
     promotion: str = "incremental"
     profile_sharing: bool = True
     profile_cache: Optional[ProfileCache] = None
     trace: Optional[TraceLog] = None
+    config: Optional[IndexConfig] = None
     stats: BrokerStats = field(default_factory=BrokerStats)
 
     def __post_init__(self) -> None:
@@ -143,19 +141,31 @@ class Broker:
             raise ValueError(
                 f"unknown promotion kind {self.promotion!r}; expected one of {PROMOTION_KINDS}"
             )
-        if self.curve not in CURVE_KINDS:
-            raise ValueError(
-                f"unknown curve kind {self.curve!r}; expected one of {CURVE_KINDS}"
-            )
+        # The keyword knobs are sugar over one IndexConfig; resolution also
+        # validates them (unknown curve kinds raise here).
+        config = resolve_index_config(
+            self.config,
+            epsilon=self.epsilon,
+            backend=self.backend,
+            shards=self.shards,
+            cube_budget=self.cube_budget,
+            run_budget=self.run_budget,
+            curve=self.curve,
+        )
+        self.config = config
+        self.epsilon = config.epsilon
+        self.backend = config.backend
+        self.shards = config.shards
+        self.cube_budget = config.cube_budget
+        self.run_budget = config.run_budget
+        self.curve = config.curve
         self.routing_table = self._fresh_routing_table()
         if self.profile_cache is None:
             profiler = (
                 CoveringProfiler(
                     self.schema.num_attributes,
                     self.schema.order,
-                    epsilon=self.epsilon,
-                    cube_budget=self.cube_budget,
-                    curve=self.curve,
+                    config=config,
                 )
                 if self.covering == "approximate"
                 else None
@@ -191,11 +201,8 @@ class Broker:
         return RoutingTable(
             schema=self.schema,
             matching=self.matching,
-            backend=self.backend,
-            run_budget=self.run_budget,
-            curve=self.curve,
             seed=self.seed,
-            shards=self.shards,
+            config=self.config,
         )
 
     def _fresh_link_state(self, neighbor_id: Hashable) -> None:
@@ -203,12 +210,9 @@ class Broker:
         self._forwarded[neighbor_id] = make_covering_strategy(
             self.covering,
             self.schema,
-            epsilon=self.epsilon,
-            backend=self.backend,
             samples=self.samples,
             seed=self.seed,
-            cube_budget=self.cube_budget,
-            curve=self.curve,
+            config=self.config,
         )
         self._forwarded_ids[neighbor_id] = {}
         self._suppressed[neighbor_id] = {}

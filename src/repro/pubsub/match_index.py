@@ -56,16 +56,26 @@ from ..geometry.bits import spread_bits
 from ..geometry.rect import Rectangle, StandardCube
 from ..geometry.universe import Universe
 from ..index.backends import make_backend
+from ..index.config import (
+    DEFAULT_MATCH_BACKEND,
+    DEFAULT_PRECISION_BITS,
+    DEFAULT_RUN_BUDGET,
+    MATCH_BACKEND_NAMES,
+    PRECISION_BIT_BUDGET,
+    IndexConfig,
+    resolve_index_config,
+)
 from ..index.sfc_array import FlatSegmentStore
 from ..obs.profiler import profiled
 from ..sfc.base import KeyRange
-from ..sfc.factory import DEFAULT_CURVE, make_curve
+from ..sfc.factory import make_curve
 from ..sfc.runs import merge_key_ranges
 from .schema import AttributeSchema
 
 __all__ = [
     "MatchIndex",
     "MatchIndexStats",
+    "IndexConfig",
     "MATCH_BACKEND_NAMES",
     "DEFAULT_MATCH_BACKEND",
     "DEFAULT_RUN_BUDGET",
@@ -74,34 +84,10 @@ __all__ = [
     "spread_bits",
 ]
 
-#: Segment-store backends a :class:`MatchIndex` accepts.  ``"flat"`` (the
-#: default) is the flattened parallel-array store; the ordered-map names keep
-#: the per-segment node path selectable for the backend ablation.
-MATCH_BACKEND_NAMES = ("flat", "avl", "skiplist", "sortedlist")
-
-#: Default match-index backend: the flattened segment store.
-DEFAULT_MATCH_BACKEND = "flat"
-
-#: Default cap on stored key ranges per subscription.  Thin rectangles whose
-#: exact decomposition has more runs are over-approximated down to this many;
-#: the rectangle fallback check absorbs the resulting false positives.
-DEFAULT_RUN_BUDGET = 64
-
-#: Default decomposition precision: rectangles are snapped outward to a grid
-#: with this many bits per dimension before cube decomposition, bounding the
-#: quadtree work independently of the schema order.
-DEFAULT_PRECISION_BITS = 6
-
-#: Cap on the *total* decomposition bits (``dims × precision``) of the
-#: *default* precision.  The quadtree explores ``O(2^{d·p})`` cells in the
-#: worst case, so a fixed per-dimension default — tuned on two-attribute
-#: workloads — silently blows up on wider schemas (a three-attribute insert
-#: at precision 6 walks millions of cells).  The default precision is scaled
-#: down so the total stays at the two-attribute default's budget; matching
-#: answers are unaffected (coarser snapping only widens the
-#: over-approximation the rectangle fallback check already absorbs).  An
-#: *explicitly* requested precision is honoured as given.
-PRECISION_BIT_BUDGET = 2 * DEFAULT_PRECISION_BITS
+# The knob constants (MATCH_BACKEND_NAMES, DEFAULT_MATCH_BACKEND,
+# DEFAULT_RUN_BUDGET, DEFAULT_PRECISION_BITS, PRECISION_BIT_BUDGET) are
+# defined once in :mod:`repro.index.config` and re-exported here for
+# backward compatibility.
 
 
 @dataclass
@@ -160,31 +146,43 @@ class MatchIndex:
         Space-filling-curve kind (:data:`~repro.sfc.factory.CURVE_KINDS`)
         keying the segments.  Curves differ in run counts — and therefore in
         segment counts and false-positive rates — never in match answers.
+    config:
+        A full :class:`~repro.index.config.IndexConfig`; the individual
+        keyword arguments above are sugar layered on top of it (an explicit
+        keyword overrides the corresponding config field).
     """
 
     def __init__(
         self,
         schema: AttributeSchema,
-        backend: str = DEFAULT_MATCH_BACKEND,
-        run_budget: int = DEFAULT_RUN_BUDGET,
+        backend: Optional[str] = None,
+        run_budget: Optional[int] = None,
         precision_bits: Optional[int] = None,
-        curve: str = DEFAULT_CURVE,
+        curve: Optional[str] = None,
         seed: Optional[int] = None,
+        config: Optional[IndexConfig] = None,
     ) -> None:
-        if run_budget < 1:
-            raise ValueError(f"run_budget must be at least 1, got {run_budget}")
+        config = resolve_index_config(
+            config,
+            backend=backend,
+            run_budget=run_budget,
+            precision_bits=precision_bits,
+            curve=curve,
+        )
+        if config.backend not in MATCH_BACKEND_NAMES:
+            raise ValueError(
+                f"MatchIndex backend must be one of {MATCH_BACKEND_NAMES}, got "
+                f"{config.backend!r} (the composite 'sharded' backend lives in "
+                f"ShardedMatchIndex)"
+            )
+        self.config = config
         self.schema = schema
         self.universe = Universe(dims=schema.num_attributes, order=schema.order)
-        if precision_bits is None:
-            precision_bits = max(
-                1,
-                min(DEFAULT_PRECISION_BITS, PRECISION_BIT_BUDGET // self.universe.dims),
-            )
-        if precision_bits < 1:
-            raise ValueError(f"precision_bits must be at least 1, got {precision_bits}")
-        self.curve = make_curve(curve, self.universe)
-        self.run_budget = run_budget
-        self.precision_bits = precision_bits
+        self.curve = make_curve(config.curve, self.universe)
+        self.run_budget = config.run_budget
+        self.precision_bits = config.effective_precision_bits(self.universe.dims)
+        backend = config.backend
+        precision_bits = self.precision_bits
         # Precision-snapped rectangles are unions of cells of a coarser grid;
         # decomposing on that coarse universe directly (and scaling the cubes
         # back up) skips the top ``order - precision`` recursion levels the

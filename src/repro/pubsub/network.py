@@ -23,6 +23,7 @@ publishing broker through up brokers.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -31,15 +32,12 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 import networkx as nx
 
 from ..core.covering import CoveringProfiler
+from ..index.config import IndexConfig, resolve_index_config
 from ..obs.exposition import render_prometheus, snapshot
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Span, TraceLog, make_detail
-from ..sfc.factory import DEFAULT_CURVE
 from ..sim.transport import Message, SyncTransport, Transport
 from .broker import LOCAL_INTERFACE, Broker
-from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET
-from .sharded_index import DEFAULT_SHARDS
-from .routing_table import DEFAULT_CUBE_BUDGET
 from .schema import AttributeSchema
 from .stats import NetworkStats
 from .subscription import Event, Subscription
@@ -165,23 +163,43 @@ class BrokerNetwork:
 
     schema: AttributeSchema
     covering: str = "approximate"
-    epsilon: float = 0.05
-    backend: str = DEFAULT_MATCH_BACKEND
-    shards: int = DEFAULT_SHARDS
+    epsilon: Optional[float] = None
+    backend: Optional[str] = None
+    shards: Optional[int] = None
     samples: int = 8
     seed: Optional[int] = None
-    cube_budget: int = DEFAULT_CUBE_BUDGET
+    cube_budget: Optional[int] = None
     matching: str = "linear"
-    run_budget: int = DEFAULT_RUN_BUDGET
-    curve: str = DEFAULT_CURVE
+    run_budget: Optional[int] = None
+    curve: Optional[str] = None
     promotion: str = "incremental"
     profile_sharing: bool = True
     transport: Optional[Transport] = None
     metrics: Optional[MetricsRegistry] = None
     tracing: Optional[TraceLog] = None
+    config: Optional[IndexConfig] = None
     brokers: Dict[Hashable, Broker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # One IndexConfig for the whole network: the per-knob keyword sugar
+        # overrides the (optional) explicit config, and resolution validates
+        # everything up front (unknown curve kinds raise here).  The sugar
+        # fields are back-filled so existing readers keep working.
+        self.config = resolve_index_config(
+            self.config,
+            epsilon=self.epsilon,
+            backend=self.backend,
+            shards=self.shards,
+            cube_budget=self.cube_budget,
+            run_budget=self.run_budget,
+            curve=self.curve,
+        )
+        self.epsilon = self.config.epsilon
+        self.backend = self.config.backend
+        self.shards = self.config.shards
+        self.cube_budget = self.config.cube_budget
+        self.run_budget = self.config.run_budget
+        self.curve = self.config.curve
         if self.transport is None:
             self.transport = SyncTransport()
         self.transport.bind(self)
@@ -210,13 +228,25 @@ class BrokerNetwork:
             CoveringProfiler(
                 self.schema.num_attributes,
                 self.schema.order,
-                epsilon=self.epsilon,
-                cube_budget=self.cube_budget,
-                curve=self.curve,
+                config=self.config,
             )
             if self.covering == "approximate" and self.profile_sharing
             else None
         )
+        self._tuner = None
+        # Opt-in environment hook: REPRO_AUTOTUNE=1 attaches an aggressive
+        # self-tuning loop to every SFC-matching network (used by the CI pass
+        # that re-runs the tier-1 suite with the tuner active everywhere).
+        # Zero drift threshold + tiny trial sizes: swaps fire constantly, and
+        # the per-decision replay stays cheap enough to bolt onto every test.
+        if self.matching == "sfc" and os.environ.get("REPRO_AUTOTUNE"):
+            self.attach_tuner(
+                drift_threshold=0.0,
+                min_lookups=1,
+                cooldown=1,
+                sample_subscriptions=8,
+                probe_log_capacity=8,
+            )
 
     # ---------------------------------------------------------------- topology
     def add_broker(self, broker_id: Hashable) -> Broker:
@@ -227,19 +257,14 @@ class BrokerNetwork:
             broker_id=broker_id,
             schema=self.schema,
             covering=self.covering,
-            epsilon=self.epsilon,
-            backend=self.backend,
-            shards=self.shards,
             samples=self.samples,
             seed=self.seed,
-            cube_budget=self.cube_budget,
             matching=self.matching,
-            run_budget=self.run_budget,
-            curve=self.curve,
             promotion=self.promotion,
             profile_sharing=self.profile_sharing,
             profile_cache=self.profile_cache,
             trace=self.tracing if self.tracing.enabled else None,
+            config=self.config,
         )
         broker.attach_transport(
             self._transport_subscription,
@@ -281,20 +306,21 @@ class BrokerNetwork:
         schema: AttributeSchema,
         edges: Iterable[Tuple[Hashable, Hashable]],
         covering: str = "approximate",
-        epsilon: float = 0.05,
-        backend: str = DEFAULT_MATCH_BACKEND,
-        shards: int = DEFAULT_SHARDS,
+        epsilon: Optional[float] = None,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
         samples: int = 8,
         seed: Optional[int] = None,
-        cube_budget: int = DEFAULT_CUBE_BUDGET,
+        cube_budget: Optional[int] = None,
         matching: str = "linear",
-        run_budget: int = DEFAULT_RUN_BUDGET,
-        curve: str = DEFAULT_CURVE,
+        run_budget: Optional[int] = None,
+        curve: Optional[str] = None,
         promotion: str = "incremental",
         profile_sharing: bool = True,
         transport: Optional[Transport] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracing: Optional[TraceLog] = None,
+        config: Optional[IndexConfig] = None,
         nodes: Optional[Iterable[Hashable]] = None,
     ) -> "BrokerNetwork":
         """Build a network from an edge list (nodes are created on first sight).
@@ -323,6 +349,7 @@ class BrokerNetwork:
             transport=transport,
             metrics=metrics,
             tracing=tracing,
+            config=config,
         )
         for node in nodes or ():
             if node not in network.brokers:
@@ -695,10 +722,47 @@ class BrokerNetwork:
         publish-time bookkeeping behind latency measurement is dropped — the
         table cannot grow without bound, and a later reuse of an event id
         measures its own propagation, not the gap since the first run.
+        An attached :class:`~repro.tuning.AutoTuner` is polled at the
+        quiescent point — tuning decisions only ever happen between message
+        waves, never while events are in flight.
         """
         steps = self.transport.flush()
         self._publish_times.clear()
+        if self._tuner is not None:
+            self._tuner.poll()
         return steps
+
+    # ------------------------------------------------------------------ tuning
+    @property
+    def tuner(self):
+        """The attached :class:`~repro.tuning.AutoTuner`, or ``None``."""
+        return self._tuner
+
+    def attach_tuner(self, tuner=None, **kwargs):
+        """Attach an online self-tuning loop to this network.
+
+        With no arguments an :class:`~repro.tuning.AutoTuner` with default
+        policy is built; keyword arguments are forwarded to its constructor
+        (``drift_threshold``, ``min_lookups``, ``cooldown``, ``candidates``,
+        …).  Pass a pre-built tuner to share one across harnesses.  The tuner
+        is polled from :meth:`flush`, i.e. at every quiescent point.  Only
+        meaningful under ``matching="sfc"``; attaching on a linear-matching
+        network raises.
+        """
+        if self.matching != "sfc":
+            raise ValueError(
+                f"auto-tuning requires matching='sfc', this network uses "
+                f"matching={self.matching!r}"
+            )
+        if tuner is None:
+            # Local import: repro.tuning imports this module's classes.
+            from ..tuning import AutoTuner
+
+            tuner = AutoTuner(self, seed=self.seed, **kwargs)
+        elif kwargs:
+            raise ValueError("pass either a pre-built tuner or keyword options, not both")
+        self._tuner = tuner
+        return tuner
 
     # ---------------------------------------------------------------- auditing
     def expected_recipients(self, event: Event, origin: Optional[Hashable] = None) -> Set[Hashable]:
@@ -830,7 +894,64 @@ class BrokerNetwork:
             )
             trace_gauge.set(len(self.tracing), state="stored")
             trace_gauge.set(self.tracing.dropped, state="dropped")
+        self._publish_interface_metrics()
         return stats
+
+    def _publish_interface_metrics(self) -> None:
+        """Publish per-interface match-index signals (and tuner counters).
+
+        Only SFC-matching interfaces carry an index; linear-matching networks
+        publish nothing here.  Counters are lifetime totals across index
+        generations (:meth:`InterfaceTable.match_stats` folds retired
+        generations in), so a tuner swap never makes a series go backwards.
+        """
+        interface_counters = None
+        interface_gauges = None
+        for broker_id in sorted(self.brokers, key=str):
+            broker = self.brokers[broker_id]
+            for interface_id, table in broker.routing_table.interface_tables().items():
+                index = table.match_index
+                if index is None:
+                    continue
+                if interface_counters is None:
+                    interface_counters = self.metrics.counter(
+                        "match_interface_total",
+                        "Per-interface match-index counters, lifetime across "
+                        "index generations (tuner swaps fold retired stats in).",
+                        labelnames=("broker", "interface", "counter"),
+                    )
+                    interface_gauges = self.metrics.gauge(
+                        "match_interface",
+                        "Per-interface match-index structure gauges "
+                        "(current index generation).",
+                        labelnames=("broker", "interface", "gauge"),
+                    )
+                labels = {"broker": str(broker_id), "interface": str(interface_id)}
+                stats = table.match_stats()
+                for counter_name in (
+                    "inserts",
+                    "removals",
+                    "coarsened_subscriptions",
+                    "lookups",
+                    "candidates_checked",
+                    "false_positives",
+                ):
+                    interface_counters.set_total(
+                        getattr(stats, counter_name), counter=counter_name, **labels
+                    )
+                interface_counters.set_total(table.rebuilds, counter="rebuilds", **labels)
+                interface_counters.set_total(table.swaps, counter="swaps", **labels)
+                interface_gauges.set(index.segment_count(), gauge="segments", **labels)
+                interface_gauges.set(len(table), gauge="subscriptions", **labels)
+                interface_gauges.set(table.generation, gauge="generation", **labels)
+        if self._tuner is not None:
+            tuner_counters = self.metrics.counter(
+                "autotuner_total",
+                "Self-tuning loop counters, by counter name.",
+                labelnames=("counter",),
+            )
+            for counter_name, value in self._tuner.counters().items():
+                tuner_counters.set_total(value, counter=counter_name)
 
     def scrape(self) -> str:
         """Publish current counters and render the Prometheus text exposition."""

@@ -16,9 +16,12 @@ code independent of which detector is in use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import astuple, dataclass
+from dataclasses import fields as dataclass_fields
 from typing import (
     TYPE_CHECKING,
+    Deque,
     Dict,
     Hashable,
     Iterable,
@@ -36,12 +39,17 @@ from ..baselines.linear_scan import LinearScanCoveringDetector
 from ..baselines.probabilistic import ProbabilisticCoveringDetector
 from ..core.covering import ApproximateCoveringDetector
 from ..geometry.universe import Universe
-from ..index.backends import DEFAULT_BACKEND, ordered_map_backend_name
+from ..index.config import (
+    DEFAULT_CUBE_BUDGET,
+    INDEX_BACKEND_NAMES,
+    IndexConfig,
+    resolve_index_config,
+)
 from ..sfc.base import SpaceFillingCurve
-from ..sfc.factory import DEFAULT_CURVE, make_curve
-from .match_index import DEFAULT_MATCH_BACKEND, DEFAULT_RUN_BUDGET, MatchIndex
+from ..sfc.factory import make_curve
+from .match_index import MatchIndex, MatchIndexStats
 from .schema import AttributeSchema
-from .sharded_index import DEFAULT_SHARDS, ShardedMatchIndex
+from .sharded_index import ShardedMatchIndex
 from .subscription import Event, Subscription
 
 __all__ = [
@@ -58,11 +66,9 @@ __all__ = [
     "ROUTING_BACKEND_NAMES",
 ]
 
-#: The single source of truth for the per-check work bound of the approximate
-#: covering strategy.  A router bounds this so one subscription arrival cannot
-#: stall the forwarding path; every layer (strategy, factory, broker, network)
-#: defaults to this same constant.
-DEFAULT_CUBE_BUDGET = 2_000
+# DEFAULT_CUBE_BUDGET — the per-check work bound of the approximate covering
+# strategy — is defined in :mod:`repro.index.config` (one source of truth for
+# index knobs) and re-exported here for backward compatibility.
 
 #: Event-matching implementations an interface table can use.
 MATCHING_KINDS = ("linear", "sfc")
@@ -70,7 +76,7 @@ MATCHING_KINDS = ("linear", "sfc")
 #: Match-index backends the routing layer accepts: the :class:`MatchIndex`
 #: segment stores plus ``"sharded"`` (subscription set partitioned across
 #: inline flat-backend shards, see :mod:`repro.pubsub.sharded_index`).
-ROUTING_BACKEND_NAMES = ("flat", "avl", "skiplist", "sortedlist", "sharded")
+ROUTING_BACKEND_NAMES = INDEX_BACKEND_NAMES
 
 
 class CoveringStrategy(Protocol):
@@ -165,20 +171,22 @@ class ApproximateCoveringStrategy:
         self,
         attributes: int,
         attribute_order: int,
-        epsilon: float = 0.05,
-        backend: str = DEFAULT_BACKEND,
-        cube_budget: int = DEFAULT_CUBE_BUDGET,
-        curve: str = DEFAULT_CURVE,
+        epsilon: Optional[float] = None,
+        backend: Optional[str] = None,
+        cube_budget: Optional[int] = None,
+        curve: Optional[str] = None,
+        config: Optional[IndexConfig] = None,
     ) -> None:
-        self.name = f"approx(ε={epsilon})"
-        self.epsilon = epsilon
+        config = resolve_index_config(
+            config, epsilon=epsilon, backend=backend, cube_budget=cube_budget, curve=curve
+        )
+        self.config = config
+        self.name = f"approx(ε={config.epsilon})"
+        self.epsilon = config.epsilon
         self._detector = ApproximateCoveringDetector(
             attributes=attributes,
             attribute_order=attribute_order,
-            epsilon=epsilon,
-            backend=backend,
-            cube_budget=cube_budget,
-            curve=curve,
+            config=config,
         )
         self._runs_probed = 0
 
@@ -243,12 +251,13 @@ class ProbabilisticCoveringStrategy:
 def make_covering_strategy(
     kind: str,
     schema: AttributeSchema,
-    epsilon: float = 0.05,
-    backend: str = DEFAULT_BACKEND,
+    epsilon: Optional[float] = None,
+    backend: Optional[str] = None,
     samples: int = 8,
     seed: Optional[int] = None,
-    cube_budget: int = DEFAULT_CUBE_BUDGET,
-    curve: str = DEFAULT_CURVE,
+    cube_budget: Optional[int] = None,
+    curve: Optional[str] = None,
+    config: Optional[IndexConfig] = None,
 ) -> CoveringStrategy:
     """Build a covering strategy by name: ``none``, ``exact``, ``approximate`` or ``probabilistic``.
 
@@ -258,23 +267,20 @@ def make_covering_strategy(
     space-filling curve of the approximate strategy's index (the other
     strategies do not use one).  ``backend`` may be any routing-layer backend
     name; composite matching backends (``"sharded"``) map to the ordered-map
-    backend their shards are built on.
+    backend their shards are built on.  ``config`` supplies all of the above
+    at once; explicit keywords override its fields.
     """
     attributes = schema.num_attributes
     order = schema.order
+    config = resolve_index_config(
+        config, epsilon=epsilon, backend=backend, cube_budget=cube_budget, curve=curve
+    )
     if kind == "none":
         return NoCoveringStrategy()
     if kind == "exact":
         return ExactCoveringStrategy(attributes, order)
     if kind == "approximate":
-        return ApproximateCoveringStrategy(
-            attributes,
-            order,
-            epsilon=epsilon,
-            backend=ordered_map_backend_name(backend),
-            cube_budget=cube_budget,
-            curve=curve,
-        )
+        return ApproximateCoveringStrategy(attributes, order, config=config)
     if kind == "probabilistic":
         return ProbabilisticCoveringStrategy(attributes, order, samples=samples, seed=seed)
     raise ValueError(
@@ -292,6 +298,15 @@ class InterfaceTable:
     match?" is a single ordered-map probe plus a handful of rectangle checks.
     Both give identical answers; the audit in :class:`BrokerNetwork` can be
     run under either to compare them.
+
+    The table also owns the *rebuild-swap* machinery the online tuner
+    (:mod:`repro.tuning`) drives: :meth:`begin_rebuild` stages a fresh index
+    under a different :class:`~repro.index.config.IndexConfig` (bulk-loaded
+    from the stored subscriptions in one merge-rebuild sweep), mutations
+    write through to both live and staged index, and :meth:`commit_rebuild`
+    atomically swaps the staged index in, bumping :attr:`generation`.  Any
+    config gives identical match answers (the rectangle fallback check
+    restores exactness), so a swap is invisible to delivery.
     """
 
     def __init__(
@@ -299,12 +314,17 @@ class InterfaceTable:
         interface_id: Hashable,
         schema: Optional[AttributeSchema] = None,
         matching: str = "linear",
-        backend: str = DEFAULT_MATCH_BACKEND,
-        run_budget: int = DEFAULT_RUN_BUDGET,
-        curve: str = DEFAULT_CURVE,
+        backend: Optional[str] = None,
+        run_budget: Optional[int] = None,
+        curve: Optional[str] = None,
         seed: Optional[int] = None,
-        shards: int = DEFAULT_SHARDS,
+        shards: Optional[int] = None,
+        config: Optional[IndexConfig] = None,
+        routing_curve_kind: Optional[str] = None,
     ) -> None:
+        config = resolve_index_config(
+            config, backend=backend, run_budget=run_budget, curve=curve, shards=shards
+        )
         if matching not in MATCHING_KINDS:
             raise ValueError(
                 f"unknown matching kind {matching!r}; expected one of {MATCHING_KINDS}"
@@ -313,27 +333,40 @@ class InterfaceTable:
             raise ValueError("matching='sfc' requires the attribute schema")
         self.interface_id = interface_id
         self.matching_kind = matching
+        self.schema = schema
+        self.config = config
+        self._seed = seed
         self._subscriptions: Dict[Hashable, Subscription] = {}
+        #: Bumped on every committed rebuild swap.
+        self.generation = 0
+        self.rebuilds = 0
+        self.swaps = 0
+        self._retired_stats = MatchIndexStats()
+        self._staged = None
+        self._staged_config: Optional[IndexConfig] = None
+        self._probe_log: Optional[Deque[Tuple[int, ...]]] = None
+        # The curve the *routing table* precomputes event keys with.  A swap
+        # may leave this table's index on a different curve; the key-compat
+        # flag below makes the table recompute its own keys then, so a
+        # precomputed foreign-curve key can never cause a false negative.
+        self._routing_curve_kind = (
+            routing_curve_kind if routing_curve_kind is not None else config.curve
+        )
         if matching == "sfc" and schema is not None:
-            if backend == "sharded":
-                self._index = ShardedMatchIndex(
-                    schema,
-                    shards=shards,
-                    workers="inline",
-                    run_budget=run_budget,
-                    curve=curve,
-                    seed=seed,
-                )
-            else:
-                self._index = MatchIndex(
-                    schema,
-                    backend=backend,
-                    run_budget=run_budget,
-                    curve=curve,
-                    seed=seed,
-                )
+            self._index = self._make_index(config)
         else:
             self._index = None
+        self._key_ok = (
+            self._index is not None
+            and self._index.curve.kind == self._routing_curve_kind
+        )
+
+    def _make_index(self, config: IndexConfig):
+        if config.backend == "sharded":
+            return ShardedMatchIndex(
+                self.schema, workers="inline", seed=self._seed, config=config
+            )
+        return MatchIndex(self.schema, seed=self._seed, config=config)
 
     @property
     def match_index(self):
@@ -351,35 +384,150 @@ class InterfaceTable:
         # subscription leaves table and index consistent.
         if self._index is not None:
             self._index.add(subscription.sub_id, subscription.ranges)
+            if self._staged is not None:
+                self._staged.add(subscription.sub_id, subscription.ranges)
         self._subscriptions[subscription.sub_id] = subscription
 
     def remove(self, sub_id: Hashable) -> bool:
         removed = self._subscriptions.pop(sub_id, None) is not None
         if removed and self._index is not None:
             self._index.remove(sub_id)
+            if self._staged is not None:
+                self._staged.remove(sub_id)
         return removed
 
     def subscriptions(self) -> List[Subscription]:
         return list(self._subscriptions.values())
 
+    # -------------------------------------------------------- rebuild / swap
+    def begin_rebuild(self, config: IndexConfig):
+        """Stage a fresh index under ``config``, bulk-loaded from this table.
+
+        The staged index receives every subsequent mutation alongside the
+        live one, so at :meth:`commit_rebuild` time it answers identically
+        for the then-current subscription set.  One staged rebuild at a time.
+        """
+        if self._index is None:
+            raise ValueError("rebuild requires matching='sfc'")
+        if self._staged is not None:
+            raise ValueError("a rebuild is already staged; commit or abort it first")
+        staged = self._make_index(config)
+        items = [
+            (sub.sub_id, sub.ranges) for sub in self._subscriptions.values()
+        ]
+        if items:
+            staged.add_batch(items)
+        self._staged = staged
+        self._staged_config = config
+        self.rebuilds += 1
+        return staged
+
+    def commit_rebuild(self) -> None:
+        """Atomically swap the staged index in for the live one.
+
+        The outgoing generation's counters are folded into a retirement
+        accumulator so :meth:`match_stats` stays monotone across swaps
+        (``runs_stored`` is a structure gauge, not a counter, and is always
+        reported from the live index).
+        """
+        if self._staged is None:
+            raise ValueError("no staged rebuild to commit")
+        old = self._index
+        stats = old.stats
+        retired = self._retired_stats
+        retired.inserts += stats.inserts
+        retired.removals += stats.removals
+        retired.coarsened_subscriptions += stats.coarsened_subscriptions
+        retired.lookups += stats.lookups
+        retired.candidates_checked += stats.candidates_checked
+        retired.false_positives += stats.false_positives
+        close = getattr(old, "close", None)
+        if close is not None:
+            close()
+        self._index = self._staged
+        self.config = self._staged_config
+        self._staged = None
+        self._staged_config = None
+        self.generation += 1
+        self.swaps += 1
+        self._key_ok = self._index.curve.kind == self._routing_curve_kind
+
+    def abort_rebuild(self) -> bool:
+        """Discard a staged rebuild; return True when one was staged."""
+        staged = self._staged
+        self._staged = None
+        self._staged_config = None
+        if staged is None:
+            return False
+        close = getattr(staged, "close", None)
+        if close is not None:
+            close()
+        return True
+
+    @property
+    def staged_config(self) -> Optional[IndexConfig]:
+        """Config of the currently staged rebuild, or ``None``."""
+        return self._staged_config
+
+    def match_stats(self) -> MatchIndexStats:
+        """Lifetime match counters: live index plus every retired generation.
+
+        ``inserts`` counts insert *operations* across generations, so a
+        rebuild's bulk reload counts again — it is real work performed.
+        """
+        totals = list(astuple(self._retired_stats))
+        if self._index is not None:
+            for i, value in enumerate(astuple(self._index.stats)):
+                totals[i] += value
+        return MatchIndexStats(
+            **{
+                f.name: v
+                for f, v in zip(dataclass_fields(MatchIndexStats), totals)
+            }
+        )
+
+    # ------------------------------------------------------------- probe log
+    def enable_probe_log(self, capacity: int) -> None:
+        """Record the most recent ``capacity`` probed event cells.
+
+        The tuner's cost model replays this log against candidate configs;
+        bounded so an idle network never accumulates unbounded history.
+        """
+        if self._probe_log is None or self._probe_log.maxlen != capacity:
+            self._probe_log = deque(self._probe_log or (), maxlen=capacity)
+
+    @property
+    def probe_log(self) -> Optional[Deque[Tuple[int, ...]]]:
+        return self._probe_log
+
+    # --------------------------------------------------------------- queries
     def matching(self, event: Event, key: Optional[int] = None) -> List[Subscription]:
         """Return the stored subscriptions matching ``event``.
 
         ``key`` optionally supplies the event's precomputed SFC key (ignored
-        under linear matching).  Result order is insertion order for linear
-        matching and unspecified for SFC matching.
+        under linear matching, and recomputed locally when this table's index
+        was swapped onto a different curve).  Result order is insertion order
+        for linear matching and unspecified for SFC matching.
         """
         if self._index is not None:
+            if self._probe_log is not None:
+                self._probe_log.append(tuple(event.cells))
             return [
                 self._subscriptions[sub_id]
-                for sub_id in self._index.matching_ids(event.cells, key=key)
+                for sub_id in self._index.matching_ids(
+                    event.cells, key=key if self._key_ok else None
+                )
             ]
         return [sub for sub in self._subscriptions.values() if sub.matches(event)]
 
     def any_match(self, event: Event, key: Optional[int] = None) -> bool:
         """Return True when at least one stored subscription matches ``event``."""
         if self._index is not None:
-            return self._index.any_match(event.cells, key=key)
+            if self._probe_log is not None:
+                self._probe_log.append(tuple(event.cells))
+            return self._index.any_match(
+                event.cells, key=key if self._key_ok else None
+            )
         return any(sub.matches(event) for sub in self._subscriptions.values())
 
 
@@ -396,12 +544,16 @@ class RoutingTable:
         self,
         schema: Optional[AttributeSchema] = None,
         matching: str = "linear",
-        backend: str = DEFAULT_MATCH_BACKEND,
-        run_budget: int = DEFAULT_RUN_BUDGET,
-        curve: str = DEFAULT_CURVE,
+        backend: Optional[str] = None,
+        run_budget: Optional[int] = None,
+        curve: Optional[str] = None,
         seed: Optional[int] = None,
-        shards: int = DEFAULT_SHARDS,
+        shards: Optional[int] = None,
+        config: Optional[IndexConfig] = None,
     ) -> None:
+        config = resolve_index_config(
+            config, backend=backend, run_budget=run_budget, curve=curve, shards=shards
+        )
         if matching not in MATCHING_KINDS:
             raise ValueError(
                 f"unknown matching kind {matching!r}; expected one of {MATCHING_KINDS}"
@@ -410,14 +562,18 @@ class RoutingTable:
             raise ValueError("matching='sfc' requires the attribute schema")
         self.schema = schema
         self.matching_kind = matching
-        self._backend_name = backend
-        self._run_budget = run_budget
-        self._curve_kind = curve
+        self.config = config
+        self._backend_name = config.backend
+        self._run_budget = config.run_budget
+        self._curve_kind = config.curve
         self._seed = seed
-        self._shards = shards
+        self._shards = config.shards
         self._tables: Dict[Hashable, InterfaceTable] = {}
         self._curve: Optional[SpaceFillingCurve] = (
-            make_curve(curve, Universe(dims=schema.num_attributes, order=schema.order))
+            make_curve(
+                config.curve,
+                Universe(dims=schema.num_attributes, order=schema.order),
+            )
             if matching == "sfc" and schema is not None
             else None
         )
@@ -429,16 +585,18 @@ class RoutingTable:
                 interface_id,
                 schema=self.schema,
                 matching=self.matching_kind,
-                backend=self._backend_name,
-                run_budget=self._run_budget,
-                curve=self._curve_kind,
                 seed=self._seed,
-                shards=self._shards,
+                config=self.config,
+                routing_curve_kind=self._curve_kind,
             )
         return self._tables[interface_id]
 
     def interfaces(self) -> Iterable[Hashable]:
         return self._tables.keys()
+
+    def interface_tables(self) -> Dict[Hashable, InterfaceTable]:
+        """Live view of the interface tables, in creation order (tuner hook)."""
+        return self._tables
 
     def total_entries(self) -> int:
         """Total number of subscription entries across all interfaces."""
@@ -507,12 +665,16 @@ class RoutingTable:
         )
 
     def match_work(self) -> Tuple[int, int, int]:
-        """Aggregate ``(lookups, candidates_checked, false_positives)`` over all match indexes."""
+        """Aggregate ``(lookups, candidates_checked, false_positives)`` over all match indexes.
+
+        Reads :meth:`InterfaceTable.match_stats`, so totals include retired
+        index generations and stay monotone across tuner swaps.
+        """
         lookups = candidates = false_positives = 0
         for table in self._tables.values():
-            index = table.match_index
-            if index is not None:
-                lookups += index.stats.lookups
-                candidates += index.stats.candidates_checked
-                false_positives += index.stats.false_positives
+            if table.match_index is not None:
+                stats = table.match_stats()
+                lookups += stats.lookups
+                candidates += stats.candidates_checked
+                false_positives += stats.false_positives
         return lookups, candidates, false_positives

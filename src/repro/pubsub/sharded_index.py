@@ -35,17 +35,16 @@ from dataclasses import astuple, fields
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..geometry.universe import Universe
+from ..index.config import DEFAULT_SHARDS, IndexConfig, resolve_index_config
 from ..obs.profiler import profiled
-from ..sfc.factory import DEFAULT_CURVE, make_curve
-from .match_index import DEFAULT_RUN_BUDGET, MatchIndex, MatchIndexStats
+from ..sfc.factory import make_curve
+from .match_index import MatchIndex, MatchIndexStats
 from .schema import AttributeSchema
 
 __all__ = ["ShardedMatchIndex", "DEFAULT_SHARDS", "WORKER_KINDS"]
 
-#: Default shard count of the sharded backend.  Small on purpose: shards
-#: divide rebuild cost but multiply per-batch probe overhead, and the routing
-#: stack runs them inline.
-DEFAULT_SHARDS = 4
+# DEFAULT_SHARDS is defined in :mod:`repro.index.config` (one source of
+# truth for index knobs) and re-exported here for backward compatibility.
 
 #: Worker modes of the sharded index.
 WORKER_KINDS = ("inline", "process")
@@ -97,39 +96,45 @@ class ShardedMatchIndex:
     def __init__(
         self,
         schema: AttributeSchema,
-        shards: int = DEFAULT_SHARDS,
+        shards: Optional[int] = None,
         workers: str = "inline",
-        run_budget: int = DEFAULT_RUN_BUDGET,
+        run_budget: Optional[int] = None,
         precision_bits: Optional[int] = None,
-        curve: str = DEFAULT_CURVE,
+        curve: Optional[str] = None,
         seed: Optional[int] = None,
+        config: Optional[IndexConfig] = None,
     ) -> None:
-        if shards < 1:
-            raise ValueError(f"shards must be at least 1, got {shards}")
+        config = resolve_index_config(
+            config,
+            shards=shards,
+            run_budget=run_budget,
+            precision_bits=precision_bits,
+            curve=curve,
+        ).replace(backend="sharded")
         if workers not in WORKER_KINDS:
             raise ValueError(
                 f"unknown worker kind {workers!r}; expected one of {WORKER_KINDS}"
             )
+        self.config = config
+        # The shards themselves are plain flat-backend MatchIndexes.
+        shard_config = config.replace(backend="flat")
         self.schema = schema
-        self.shards = shards
+        self.shards = config.shards
         self.workers = workers
-        self.run_budget = run_budget
+        self.run_budget = config.run_budget
         self.universe = Universe(dims=schema.num_attributes, order=schema.order)
-        self.curve = make_curve(curve, self.universe)
+        self.curve = make_curve(config.curve, self.universe)
+        precision_bits = config.effective_precision_bits(self.universe.dims)
+        run_budget = config.run_budget
+        curve = config.curve
+        shards = config.shards
         # Shard 0's index doubles as the parent-side validator in process
         # mode; the keyer above serves both modes.
         self._shard_of: Dict[Hashable, int] = {}
         self._next_shard = 0
         if workers == "inline":
             self._indexes: Optional[List[MatchIndex]] = [
-                MatchIndex(
-                    schema,
-                    backend="flat",
-                    run_budget=run_budget,
-                    precision_bits=precision_bits,
-                    curve=curve,
-                    seed=seed,
-                )
+                MatchIndex(schema, seed=seed, config=shard_config)
                 for _ in range(shards)
             ]
             self._conns = None
@@ -144,14 +149,7 @@ class ShardedMatchIndex:
             self._indexes = None
             self._conns = []
             self._procs = []
-            self._validator = MatchIndex(
-                schema,
-                backend="flat",
-                run_budget=run_budget,
-                precision_bits=precision_bits,
-                curve=curve,
-                seed=seed,
-            )
+            self._validator = MatchIndex(schema, seed=seed, config=shard_config)
             for _ in range(shards):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(

@@ -1,0 +1,15 @@
+"""Online self-tuning of the SFC match indexes.
+
+The tuner watches each interface's :class:`~repro.pubsub.match_index.MatchIndexStats`
+drift (false-positive rate over a recent window), scores candidate
+:class:`~repro.index.config.IndexConfig` variants by replaying the interface's
+recent probe log against a trial index, and — when a candidate strictly beats
+the current config — re-curves or re-decomposes that one interface via the
+routing table's staged rebuild + atomic generation swap.  All decisions are
+counter-seeded: two same-seed runs tune identically.
+"""
+
+from .auto_tuner import AutoTuner, default_candidates
+from .cost_model import CostModel
+
+__all__ = ["AutoTuner", "CostModel", "default_candidates"]

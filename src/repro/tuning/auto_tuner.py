@@ -1,0 +1,269 @@
+"""The online tuning loop: drift detection → candidate scoring → staged swap.
+
+:class:`AutoTuner` is attached to a :class:`~repro.pubsub.network.BrokerNetwork`
+(via :meth:`~repro.pubsub.network.BrokerNetwork.attach_tuner`) and polled at
+every quiescent point (:meth:`~repro.pubsub.network.BrokerNetwork.flush`).
+Each poll walks every SFC interface table in deterministic order and runs a
+small state machine per interface:
+
+1. A staged rebuild from the previous poll is **committed** — the atomic
+   generation swap.  One poll of lag means mutations arriving between the
+   decision and the swap exercise the dual write-through path, and the swap
+   itself happens at a quiescent point.
+2. Otherwise the stats delta since the last poll is turned into a drift
+   signal (false positives per lookup).  Below the threshold — or within the
+   post-swap cooldown — nothing happens.
+3. On drift, the cost model replays the interface's recent probe log against
+   the current config and every candidate.  A candidate that *strictly* beats
+   the current config **stages** a rebuild (bulk merge-rebuild of the stored
+   subscriptions under the new config); ties keep the incumbent.
+
+Every choice is derived from counters and the tuner seed — never from wall
+clock, object ids or hash randomisation — so two same-seed runs make
+identical decisions, and the tuned network stays differential-testable
+against any fixed config (any config gives identical match *answers*; only
+the work to produce them differs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..index.config import IndexConfig
+from ..sfc.factory import CURVE_KINDS
+from .cost_model import CostModel
+
+__all__ = ["AutoTuner", "default_candidates"]
+
+
+def default_candidates(config: IndexConfig) -> List[IndexConfig]:
+    """Candidate configs reachable from ``config`` in one tuning step.
+
+    Re-curving (every other curve kind) plus re-decomposition (halved and
+    doubled run budget — tighter runs cut false positives, coarser runs cut
+    probe counts).  The incumbent itself is not a candidate; the tuner always
+    scores it separately as the baseline to beat.
+    """
+    candidates: List[IndexConfig] = []
+    for kind in CURVE_KINDS:
+        if kind != config.curve:
+            candidates.append(config.replace(curve=kind))
+    half = max(1, config.run_budget // 2)
+    if half != config.run_budget:
+        candidates.append(config.replace(run_budget=half))
+    candidates.append(config.replace(run_budget=config.run_budget * 2))
+    return candidates
+
+
+class AutoTuner:
+    """Self-tuning loop over a broker network's SFC interface tables.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.pubsub.network.BrokerNetwork` to tune (must use
+        ``matching="sfc"``; interfaces without a match index are skipped).
+    candidates:
+        Fixed candidate configs to score on drift.  ``None`` (default)
+        derives per-interface candidates from the interface's *current*
+        config via :func:`default_candidates`, so repeated tuning can walk
+        the config space one step at a time.
+    cost_model:
+        Scoring policy; defaults to ``CostModel(min_lookups=min_lookups)``.
+    drift_threshold:
+        Minimum false-positive rate (per lookup, over the window since the
+        previous poll) that triggers candidate scoring.
+    min_lookups:
+        Minimum lookups in the window before drift is judged at all.
+    sample_subscriptions:
+        Cap on subscriptions loaded into each trial index (sampled seeded
+        and order-independently when an interface stores more).
+    probe_log_capacity:
+        Probe-log ring size per interface (most recent event probes).
+    cooldown:
+        Polls to skip on an interface after a swap or a completed scoring
+        round, so one hot window cannot thrash the index.
+    min_gain:
+        Relative score improvement a candidate must show over the incumbent
+        to justify a rebuild (hysteresis: a rebuild is itself work, so
+        marginal wins must not trigger one).  ``0.0`` reverts to strict
+        less-than.
+    seed:
+        Decision seed; combined with a monotone decision counter for every
+        sampling draw (same seed → same tuning trajectory).
+    """
+
+    def __init__(
+        self,
+        network,
+        candidates: Optional[Sequence[IndexConfig]] = None,
+        cost_model: Optional[CostModel] = None,
+        drift_threshold: float = 0.1,
+        min_lookups: int = 32,
+        sample_subscriptions: int = 64,
+        probe_log_capacity: int = 64,
+        cooldown: int = 4,
+        min_gain: float = 0.1,
+        seed: Optional[int] = None,
+    ) -> None:
+        if drift_threshold < 0:
+            raise ValueError(
+                f"drift_threshold must be >= 0, got {drift_threshold}"
+            )
+        if not 0.0 <= min_gain < 1.0:
+            raise ValueError(f"min_gain must lie in [0, 1), got {min_gain}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if sample_subscriptions < 1:
+            raise ValueError(
+                f"sample_subscriptions must be >= 1, got {sample_subscriptions}"
+            )
+        if probe_log_capacity < 1:
+            raise ValueError(
+                f"probe_log_capacity must be >= 1, got {probe_log_capacity}"
+            )
+        self.network = network
+        self.candidates = list(candidates) if candidates is not None else None
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else CostModel(min_lookups=min_lookups)
+        )
+        self.drift_threshold = drift_threshold
+        self.sample_subscriptions = sample_subscriptions
+        self.probe_log_capacity = probe_log_capacity
+        self.cooldown = cooldown
+        self.min_gain = min_gain
+        self.seed = seed if seed is not None else 0
+        # Per-interface state, keyed by (str(broker), str(interface)) so the
+        # keys sort and compare identically across runs.
+        self._snapshots: Dict[Tuple[str, str], object] = {}
+        self._cooldowns: Dict[Tuple[str, str], int] = {}
+        self._no_win_rounds: Dict[Tuple[str, str], int] = {}
+        self._decision_counter = 0
+        self.polls = 0
+        self.drift_detections = 0
+        self.evaluations = 0
+        self.rebuilds = 0
+        self.swaps = 0
+
+    # ------------------------------------------------------------------ state
+    def counters(self) -> Dict[str, int]:
+        """Monotone loop counters (published as ``autotuner_total``)."""
+        return {
+            "polls": self.polls,
+            "drift_detections": self.drift_detections,
+            "evaluations": self.evaluations,
+            "rebuilds": self.rebuilds,
+            "swaps": self.swaps,
+        }
+
+    def _rng(self) -> random.Random:
+        """A fresh seeded stream per decision (never Python ``hash()``)."""
+        rng = random.Random(self.seed * 1_000_003 + self._decision_counter)
+        self._decision_counter += 1
+        return rng
+
+    # ------------------------------------------------------------------- poll
+    def poll(self) -> None:
+        """Run one tuning pass over every SFC interface table."""
+        self.polls += 1
+        for broker_id in sorted(self.network.brokers, key=str):
+            broker = self.network.brokers[broker_id]
+            routing_table = broker.routing_table
+            if routing_table.matching_kind != "sfc":
+                continue
+            for interface_id, table in routing_table.interface_tables().items():
+                if table.match_index is None:
+                    continue
+                self._poll_interface(str(broker_id), str(interface_id), table)
+
+    def _poll_interface(self, broker_key: str, interface_key: str, table) -> None:
+        key = (broker_key, interface_key)
+        table.enable_probe_log(self.probe_log_capacity)
+        if table.staged_config is not None:
+            # Commit the rebuild staged on the previous poll: the atomic swap.
+            table.commit_rebuild()
+            self.swaps += 1
+            self._snapshots[key] = table.match_stats()
+            self._cooldowns[key] = self.cooldown
+            return
+        stats = table.match_stats()
+        previous = self._snapshots.get(key)
+        if previous is None:
+            self._snapshots[key] = stats
+            return  # first sighting establishes the baseline window
+        remaining = self._cooldowns.get(key, 0)
+        if remaining > 0:
+            self._cooldowns[key] = remaining - 1
+            self._snapshots[key] = stats  # traffic during cooldown is discarded
+            return
+        drift = self.cost_model.drift(
+            stats.false_positives - previous.false_positives,
+            stats.lookups - previous.lookups,
+        )
+        if drift is None:
+            return  # window below min_lookups: keep accumulating it
+        self._snapshots[key] = stats  # window judged; the next one starts here
+        if drift < self.drift_threshold:
+            return
+        self.drift_detections += 1
+        probes = list(table.probe_log or ())
+        if not probes:
+            return  # drift without replayable evidence: wait for probes
+        winner = self._choose_config(table, probes)
+        if winner is not None:
+            table.begin_rebuild(winner)
+            self.rebuilds += 1
+            self._no_win_rounds[key] = 0
+            self._cooldowns[key] = self.cooldown
+        else:
+            # No candidate cleared the hysteresis bar: the interface has
+            # converged for this workload, even if its drift signal stays
+            # high (some workloads have an irreducible false-positive rate).
+            # Back off exponentially so a converged interface is not
+            # re-scored every window — a genuine workload shift still gets
+            # re-scored, just a bounded number of polls later.
+            rounds = self._no_win_rounds.get(key, 0) + 1
+            self._no_win_rounds[key] = rounds
+            self._cooldowns[key] = max(1, self.cooldown) * (2 ** min(rounds, 6))
+
+    # --------------------------------------------------------------- decision
+    def _sample_subscriptions(
+        self, table
+    ) -> List[Tuple[Hashable, Sequence[Tuple[int, int]]]]:
+        """Seeded, order-independent subscription sample for trial indexes."""
+        items = sorted(
+            ((sub.sub_id, sub.ranges) for sub in table.subscriptions()),
+            key=lambda item: str(item[0]),
+        )
+        if len(items) > self.sample_subscriptions:
+            items = self._rng().sample(items, self.sample_subscriptions)
+        return items
+
+    def _choose_config(self, table, probes) -> Optional[IndexConfig]:
+        """Score incumbent and candidates; return a strict winner or ``None``."""
+        current = table.config
+        candidates = (
+            self.candidates
+            if self.candidates is not None
+            else default_candidates(current)
+        )
+        sample = self._sample_subscriptions(table)
+        schema = table.schema
+        incumbent_score = self.cost_model.evaluate(schema, current, sample, probes)
+        self.evaluations += 1
+        # Hysteresis: the winner must clear the incumbent by min_gain — a
+        # rebuild is real work, so marginal wins keep the incumbent.
+        best_score = incumbent_score * (1.0 - self.min_gain)
+        winner: Optional[IndexConfig] = None
+        for candidate in candidates:
+            if candidate == current:
+                continue
+            score = self.cost_model.evaluate(schema, candidate, sample, probes)
+            self.evaluations += 1
+            if score < best_score:  # strict: ties keep the incumbent
+                best_score = score
+                winner = candidate
+        return winner
